@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction. Everything is plain `go`
+# under the hood; no other tools are required.
+
+GO ?= go
+
+.PHONY: all build test bench vet results quick-results clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment at full fidelity (~15 minutes).
+results:
+	$(GO) run ./cmd/iramsim all | tee full_results.txt
+
+# CI-sized run (~1 minute).
+quick-results:
+	$(GO) run ./cmd/iramsim -quick all
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,289 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each benchmark
+// runs the corresponding experiment at reduced fidelity so that
+// `go test -bench=. -benchmem` completes in minutes; use cmd/iramsim
+// without -quick for full-fidelity runs.
+//
+// Custom metrics surface each experiment's headline number so the
+// bench output itself documents the reproduction:
+//
+//	BenchmarkTable1     ss5_speedup      (paper: 1.38x)
+//	BenchmarkTable4     tomcatv_cpi      (paper: 1.23)
+//	BenchmarkFig13..17  victim_vs_ref    (<= ~1 means integrated wins)
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/experiments"
+)
+
+func quickOpts() experiments.Options {
+	o := experiments.Quick()
+	o.Budget = 200_000
+	o.GSPNInstr = 10_000
+	o.Procs = []int{1, 4}
+	return o
+}
+
+// BenchmarkTable1 regenerates Table 1 (SS-5 vs SS-10/61 Synopsys).
+func BenchmarkTable1(b *testing.B) {
+	o := quickOpts()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Rows[1].ModelNsPerInst / r.Rows[0].ModelNsPerInst
+	}
+	b.ReportMetric(speedup, "ss5_speedup")
+}
+
+// BenchmarkFig2 regenerates Figure 2 (latency vs size and stride).
+func BenchmarkFig2(b *testing.B) {
+	o := quickOpts()
+	var beyond float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		beyond = r.AvgNs["SS-10/61"][16<<20][512] / r.AvgNs["SS-5"][16<<20][512]
+	}
+	b.ReportMetric(beyond, "ss10_vs_ss5_at_16MB")
+}
+
+// BenchmarkFig7 regenerates Figure 7 (I-cache miss rates).
+func BenchmarkFig7(b *testing.B) {
+	o := quickOpts()
+	var fppppRatio float64
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		r, err := experiments.Fig7(o, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Bench == "145.fpppp" && row.Proposed > 0 {
+				fppppRatio = row.Conv[8] / row.Proposed
+			}
+		}
+	}
+	b.ReportMetric(fppppRatio, "fpppp_advantage_x")
+}
+
+// BenchmarkFig8 regenerates Figure 8 (D-cache miss rates).
+func BenchmarkFig8(b *testing.B) {
+	o := quickOpts()
+	var victimGain float64
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		r, err := experiments.Fig8(o, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Bench == "101.tomcatv" {
+				victimGain = (row.PropLoad + row.PropStore) / (row.VicLoad + row.VicStore)
+			}
+		}
+	}
+	b.ReportMetric(victimGain, "tomcatv_victim_gain_x")
+}
+
+// BenchmarkFig11 regenerates Figure 11 (conventional CPI sensitivity).
+func BenchmarkFig11(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		if _, err := experiments.Fig11(o, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12 (integrated CPI sensitivity).
+func BenchmarkFig12(b *testing.B) {
+	o := quickOpts()
+	var cpi30ns float64
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		r, err := experiments.Fig12(o, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := r.CPIAt("126.gcc", 0, 6); ok {
+			cpi30ns = v
+		}
+	}
+	b.ReportMetric(cpi30ns, "gcc_cpi_at_30ns")
+}
+
+// BenchmarkTable3 regenerates Table 3 (Spec'95 CPI, no victim cache).
+func BenchmarkTable3(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		if _, err := experiments.Table34(o, ms, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (Spec'95 CPI, with victim cache).
+func BenchmarkTable4(b *testing.B) {
+	o := quickOpts()
+	var tomcatv float64
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		r, err := experiments.Table34(o, ms, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Bench == "101.tomcatv" {
+				tomcatv = row.TotalCPI
+			}
+		}
+	}
+	b.ReportMetric(tomcatv, "tomcatv_cpi")
+}
+
+// BenchmarkBankSensitivity regenerates the Section 5.6 study.
+func BenchmarkBankSensitivity(b *testing.B) {
+	o := quickOpts()
+	var util16 float64
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		r, err := experiments.Banks(o, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Integrated && row.Banks == 16 && row.Bench == "126.gcc" {
+				util16 = 100 * row.Utilization
+			}
+		}
+	}
+	b.ReportMetric(util16, "gcc_bank_util_pct")
+}
+
+// splashBench runs one of Figures 13-17 and reports the victim-config
+// execution time relative to the reference CC-NUMA at the highest
+// processor count.
+func splashBench(b *testing.B, figure int) {
+	o := quickOpts()
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SplashFigure(o, figure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := o.Procs[len(o.Procs)-1]
+		ref, _ := r.Cycles(coherence.ReferenceCCNUMA, p)
+		vic, _ := r.Cycles(coherence.IntegratedVictim, p)
+		if ref > 0 {
+			rel = float64(vic) / float64(ref)
+		}
+	}
+	b.ReportMetric(rel, "victim_vs_ref")
+}
+
+// BenchmarkFig13LU regenerates Figure 13 (LU).
+func BenchmarkFig13LU(b *testing.B) { splashBench(b, 13) }
+
+// BenchmarkFig14MP3D regenerates Figure 14 (MP3D).
+func BenchmarkFig14MP3D(b *testing.B) { splashBench(b, 14) }
+
+// BenchmarkFig15Ocean regenerates Figure 15 (OCEAN).
+func BenchmarkFig15Ocean(b *testing.B) { splashBench(b, 15) }
+
+// BenchmarkFig16Water regenerates Figure 16 (WATER).
+func BenchmarkFig16Water(b *testing.B) { splashBench(b, 16) }
+
+// BenchmarkFig17Pthor regenerates Figure 17 (PTHOR).
+func BenchmarkFig17Pthor(b *testing.B) { splashBench(b, 17) }
+
+// BenchmarkAblateLineSize sweeps the D-cache line size (Section 5.3/5.6
+// design tension).
+func BenchmarkAblateLineSize(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblateLineSize(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblateVictimSize sweeps the victim-cache capacity around
+// the paper's 16-entry choice.
+func BenchmarkAblateVictimSize(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblateVictimSize(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblateCoherenceUnit quantifies the paper's false-sharing
+// warning about 512 B coherence units.
+func BenchmarkAblateCoherenceUnit(b *testing.B) {
+	o := quickOpts()
+	var blowup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateCoherenceUnit(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var small, big uint64
+		for _, row := range r.Rows {
+			if row.Bench == "falseshare (micro)" {
+				if row.UnitBytes == 32 {
+					small = row.Cycles
+				}
+				if row.UnitBytes == 512 {
+					big = row.Cycles
+				}
+			}
+		}
+		if small > 0 {
+			blowup = float64(big) / float64(small)
+		}
+	}
+	b.ReportMetric(blowup, "falseshare_blowup_x")
+}
+
+// BenchmarkAblateINC compares INC associativities (Section 6.2).
+func BenchmarkAblateINC(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblateINCAssociativity(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblateScoreboard sweeps the Figure 10 T23 stall rate.
+func BenchmarkAblateScoreboard(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		if _, err := experiments.AblateScoreboard(o, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblateEngines varies the protocol-engine count (Section 4.2
+// budgets two engines).
+func BenchmarkAblateEngines(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblateEngines(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCacheSpec(t *testing.T) {
+	c, err := parseCacheSpec("16384:32:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "16KB 2-way 32B" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if _, err := parseCacheSpec("proposed"); err != nil {
+		t.Errorf("proposed spec rejected: %v", err)
+	}
+	for _, bad := range []string{"", "16384:32", "a:b:c", "100:32:2", "16384:32:0"} {
+		if _, err := parseCacheSpec(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestCacheSpecsFlag(t *testing.T) {
+	var cs cacheSpecs
+	if err := cs.Set("proposed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Set("16384:32:1"); err != nil {
+		t.Fatal(err)
+	}
+	if cs.String() != "proposed,16384:32:1" {
+		t.Errorf("String() = %q", cs.String())
+	}
+}
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo.s")
+	src := `
+main:	li   r10, 0x1000000
+	li   r2, 256
+loop:	ld   r4, 0(r10)
+	add  r5, r5, r4
+	addi r10, r10, 8
+	addi r2, r2, -1
+	bne  r2, zero, loop
+	halt
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdRunListMix(t *testing.T) {
+	path := writeDemo(t)
+	if err := cmdRun([]string{path}); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := cmdList([]string{path}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := cmdMix([]string{path}); err != nil {
+		t.Errorf("mix: %v", err)
+	}
+}
+
+func TestCmdTraceReplay(t *testing.T) {
+	path := writeDemo(t)
+	trc := filepath.Join(filepath.Dir(path), "demo.trc")
+	if err := cmdTrace([]string{"-o", trc, path}); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if err := cmdReplay([]string{trc}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := cmdReplay([]string{"-cache", "8192:32:1", trc}); err != nil {
+		t.Fatalf("replay with spec: %v", err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdRun([]string{}); err == nil {
+		t.Error("run without file accepted")
+	}
+	if err := cmdTrace([]string{"nope.s"}); err == nil {
+		t.Error("trace without -o accepted")
+	}
+	if err := cmdReplay([]string{"/nonexistent.trc"}); err == nil {
+		t.Error("replay of missing file accepted")
+	}
+	if err := cmdRun([]string{"/nonexistent.s"}); err == nil {
+		t.Error("run of missing file accepted")
+	}
+}
+
+func TestCmdBuildAndRunImage(t *testing.T) {
+	path := writeDemo(t)
+	img := filepath.Join(filepath.Dir(path), "demo.img")
+	if err := cmdBuild([]string{"-o", img, path}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := cmdRun([]string{img}); err != nil {
+		t.Fatalf("run image: %v", err)
+	}
+	if err := cmdList([]string{img}); err != nil {
+		t.Fatalf("list image: %v", err)
+	}
+	if err := cmdBuild([]string{path}); err == nil {
+		t.Error("build without -o accepted")
+	}
+}

@@ -1,0 +1,330 @@
+// Command iramsim regenerates the tables and figures of Saulsbury,
+// Pong & Nowatzyk, "Missing the Memory Wall" (ISCA 1996) from this
+// repository's simulators.
+//
+// Usage:
+//
+//	iramsim [flags] <experiment> [...]
+//
+// Experiments: table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks
+// fig13 fig14 fig15 fig16 fig17 cost all
+//
+// Flags:
+//
+//	-quick        reduced fidelity (CI-sized runs)
+//	-budget N     per-workload instruction budget
+//	-seed N       Monte-Carlo seed
+//	-procs list   processor counts for fig13..fig17 (e.g. 1,2,4,8,16)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/selftest"
+	"repro/internal/workload"
+)
+
+// jsonMode switches experiment output from rendered tables to JSON
+// (structured results for downstream plotting).
+var jsonMode bool
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-fidelity runs")
+	flag.BoolVar(&jsonMode, "json", false, "emit experiment results as JSON instead of tables")
+	budget := flag.Int64("budget", 0, "per-workload instruction budget (0 = default)")
+	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
+	procsFlag := flag.String("procs", "", "comma-separated processor counts for fig13..fig17")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *budget > 0 {
+		opts.Budget = *budget
+	}
+	opts.Seed = *seed
+	if *procsFlag != "" {
+		var procs []int
+		for _, s := range strings.Split(*procsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -procs value %q", s))
+			}
+			procs = append(procs, n)
+		}
+		opts.Procs = procs
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"spec", "cost", "table1", "fig2", "fig7", "fig8", "fig11",
+			"fig12", "table3", "table4", "banks",
+			"fig13", "fig14", "fig15", "fig16", "fig17",
+			"ablate-linesize", "ablate-victim", "ablate-unit",
+			"ablate-scoreboard", "ablate-inc", "ablate-engines", "ablate-jouppi",
+			"scoma", "fabric", "selftest"}
+	}
+
+	ms := experiments.NewMeasurementSet(opts)
+	for _, name := range names {
+		if err := run(name, opts, ms); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(name string, opts experiments.Options, ms *experiments.MeasurementSet) error {
+	out := os.Stdout
+	switch name {
+	case "table1":
+		r, err := experiments.Table1(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "table1", r); err != nil {
+			return err
+		}
+	case "fig2":
+		r, err := experiments.Fig2(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig2", r); err != nil {
+			return err
+		}
+	case "fig7":
+		r, err := experiments.Fig7(opts, ms)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig7", r); err != nil {
+			return err
+		}
+	case "fig8":
+		r, err := experiments.Fig8(opts, ms)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig8", r); err != nil {
+			return err
+		}
+	case "fig11":
+		r, err := experiments.Fig11(opts, ms)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig11", r); err != nil {
+			return err
+		}
+		if !jsonMode {
+			r.Plot().Render(out)
+		}
+	case "fig12":
+		r, err := experiments.Fig12(opts, ms)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "fig12", r); err != nil {
+			return err
+		}
+		if !jsonMode {
+			r.Plot().Render(out)
+		}
+	case "table3":
+		r, err := experiments.Table34(opts, ms, false)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "table3", r); err != nil {
+			return err
+		}
+	case "table4":
+		r, err := experiments.Table34(opts, ms, true)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "table4", r); err != nil {
+			return err
+		}
+	case "banks":
+		r, err := experiments.Banks(opts, ms)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "banks", r); err != nil {
+			return err
+		}
+	case "fig13", "fig14", "fig15", "fig16", "fig17":
+		n, _ := strconv.Atoi(strings.TrimPrefix(name, "fig"))
+		r, err := experiments.SplashFigure(opts, n)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, name, r); err != nil {
+			return err
+		}
+		if !jsonMode {
+			r.Plot().Render(out)
+		}
+	case "cost":
+		experiments.Cost().Render(out)
+	case "workloads":
+		t := report.NewTable("Table 2: benchmark stand-ins",
+			"benchmark", "fp", "base CPI", "budget", "description")
+		for _, name := range workload.Names() {
+			w, err := workload.ByName(name)
+			if err != nil {
+				return err
+			}
+			desc := w.Description
+			if len(desc) > 72 {
+				desc = desc[:69] + "..."
+			}
+			t.Row(w.Name, w.Float, w.BaseCPI, w.Budget, desc)
+		}
+		t.Render(out)
+	case "fig910":
+		for _, cfg := range []cpumodel.SystemConfig{cpumodel.Integrated(), cpumodel.Reference()} {
+			m, err := cpumodel.Build(cfg, cpumodel.AppRates{
+				Name: "shape", BaseCPI: 1, LoadFrac: 0.25, StoreFrac: 0.1,
+				IHit: 0.95, LoadHit: 0.95, StoreHit: 0.95,
+				IL2Hit: 0.9, LoadL2Hit: 0.9, StoreL2Hit: 0.9,
+			})
+			if err != nil {
+				return err
+			}
+			sh := m.Shape()
+			fmt.Fprintf(out,
+				"Figure 9/10 net (%s): %d places, %d immediate + %d deterministic + %d exponential transitions, %d banks, L2=%v"+"\n",
+				cfg.Name, sh.Places, sh.Immediate, sh.Deterministic, sh.Exponential, sh.Banks, sh.HasL2)
+		}
+		fmt.Fprintln(out)
+	case "spec":
+		for _, line := range core.Proposed().Datasheet() {
+			fmt.Fprintln(out, line)
+		}
+		fmt.Fprintln(out)
+	case "ablate-linesize":
+		r, err := experiments.AblateLineSize(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-linesize", r); err != nil {
+			return err
+		}
+	case "ablate-victim":
+		r, err := experiments.AblateVictimSize(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-victim", r); err != nil {
+			return err
+		}
+	case "ablate-unit":
+		r, err := experiments.AblateCoherenceUnit(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-unit", r); err != nil {
+			return err
+		}
+	case "ablate-scoreboard":
+		r, err := experiments.AblateScoreboard(opts, ms)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-scoreboard", r); err != nil {
+			return err
+		}
+	case "selftest":
+		r, err := selftest.Run(selftest.Config{WindowBytes: 256 << 10})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "built-in self test: passed=%v phase=%s instructions=%d window=%dKB fills=%d\n\n",
+			r.Passed, r.Phase, r.Instructions, r.MemoryBytes>>10, r.CacheFills)
+	case "scoma":
+		r, err := experiments.SCOMA(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "scoma", r); err != nil {
+			return err
+		}
+	case "fabric":
+		t, err := experiments.Fabric()
+		if err != nil {
+			return err
+		}
+		t.Render(out)
+	case "ablate-jouppi":
+		r, err := experiments.AblateJouppi(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-jouppi", r); err != nil {
+			return err
+		}
+	case "ablate-engines":
+		r, err := experiments.AblateEngines(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-engines", r); err != nil {
+			return err
+		}
+	case "ablate-inc":
+		r, err := experiments.AblateINCAssociativity(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, "ablate-inc", r); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// tabler is any experiment result that can render itself.
+type tabler interface{ Table() *report.Table }
+
+// emit writes a result as a table or, in -json mode, as indented JSON
+// tagged with the experiment name.
+func emit(out io.Writer, name string, v tabler) error {
+	if !jsonMode {
+		v.Table().Render(out)
+		return nil
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]interface{}{"experiment": name, "result": v})
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: iramsim [flags] <experiment> [...]")
+	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} scoma fabric selftest workloads fig910 all")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iramsim:", err)
+	os.Exit(1)
+}

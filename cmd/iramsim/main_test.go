@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// cheap experiments exercised through the dispatcher (the heavyweight
+// ones are covered by internal/experiments' own tests).
+func TestRunDispatcher(t *testing.T) {
+	opts := experiments.Quick()
+	opts.Budget = 50_000
+	opts.GSPNInstr = 2_000
+	opts.Procs = []int{1, 2}
+	ms := experiments.NewMeasurementSet(opts)
+	for _, name := range []string{"cost", "spec", "fabric", "selftest", "table1", "fig13", "fig910", "workloads"} {
+		if err := run(name, opts, ms); err != nil {
+			t.Errorf("run(%q): %v", name, err)
+		}
+	}
+	if err := run("no-such-experiment", opts, ms); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunDispatcherJSON(t *testing.T) {
+	jsonMode = true
+	defer func() { jsonMode = false }()
+	opts := experiments.Quick()
+	opts.Budget = 50_000
+	opts.GSPNInstr = 2_000
+	opts.Procs = []int{1}
+	ms := experiments.NewMeasurementSet(opts)
+	if err := run("table1", opts, ms); err != nil {
+		t.Errorf("json table1: %v", err)
+	}
+	if err := run("fig13", opts, ms); err != nil {
+		t.Errorf("json fig13: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that the assembler never panics on arbitrary
+// source and that anything it accepts satisfies basic structural
+// invariants. (Run with `go test -fuzz=FuzzAssemble ./internal/asm`
+// for an open-ended session; the seed corpus runs in ordinary tests.)
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"main: halt",
+		"main: li r1, 5\nadd r2, r1, r1\nhalt",
+		".text 0x4000\nmain: j main",
+		".data\nx: .word 1,2,3",
+		"main: lw r1, 8(r2)\nsw r1, -8(sp)\nhalt",
+		"a: b: c: nop",
+		".org 0x100",
+		"main: beq r1, r2, main",
+		"label: .space 10, 0xff",
+		"main: li r1, 0xffffffffffff\nhalt",
+		"# only a comment",
+		"main: add r1, r2",              // arity error
+		"main: frob r1",                 // unknown op
+		".align 3",                      // bad align
+		"main: lw r1, (r2",              // malformed mem operand
+		"x: .word x+4, x-4\nmain: halt", // label arithmetic
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			// Errors must be asm.Error with a usable line number.
+			ae, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("error type %T, want *Error (%v)", err, err)
+			}
+			if ae.Line < 0 || ae.Line > strings.Count(src, "\n")+1 {
+				t.Fatalf("error line %d out of range for source with %d lines",
+					ae.Line, strings.Count(src, "\n")+1)
+			}
+			return
+		}
+		// Accepted programs must be structurally sound.
+		if p.CodeBase%4 != 0 {
+			t.Fatalf("unaligned code base %#x", p.CodeBase)
+		}
+		if p.Entry < p.CodeBase && len(p.Code) > 0 {
+			t.Fatalf("entry %#x before code base %#x", p.Entry, p.CodeBase)
+		}
+		for name, addr := range p.Symbols {
+			if name == "" {
+				t.Fatal("empty symbol name")
+			}
+			_ = addr
+		}
+		// Re-assembly is deterministic.
+		p2, err2 := Assemble(src)
+		if err2 != nil {
+			t.Fatalf("second assembly failed: %v", err2)
+		}
+		if len(p2.Code) != len(p.Code) || p2.Entry != p.Entry {
+			t.Fatal("assembly not deterministic")
+		}
+	})
+}

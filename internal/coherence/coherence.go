@@ -1,0 +1,633 @@
+// Package coherence implements the shared-memory side of the paper
+// (Sections 4.2 and 6): a directory-based write-invalidate protocol
+// over 32-byte coherence units, with two node architectures —
+//
+//   - the proposed integrated node: column-buffer data cache (16 KB,
+//     2-way, 512 B lines) optionally augmented with the 16×32 B victim
+//     cache, local memory at 6 cycles with full-column fills, and a
+//     1 MB 7-way set-associative Inter-Node Cache (INC) held in DRAM
+//     (7 data blocks + 1 tag block per 512 B column, costing 1–2 extra
+//     cycles for the tag check; we charge +1);
+//
+//   - the reference CC-NUMA node: 16 KB direct-mapped first-level
+//     cache with 32 B lines and an infinite second-level cache, as in
+//     the paper's upper-bound comparison (only cold and coherence
+//     misses remain).
+//
+// Latencies follow Table 6. The directory lives with the memory at the
+// home node (embedded in ECC bits, internal/ecc); protocol state
+// transitions are applied atomically at access time, with the fixed
+// round-trip latencies standing in for message traffic, exactly as the
+// paper's architectural simulator does.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/paperref"
+	"repro/internal/trace"
+)
+
+// BlockSize is the coherence unit (bytes). The paper is explicit that
+// coherence is maintained on 32-byte blocks, never on the 512-byte
+// cache lines (false sharing would outweigh the prefetching benefits).
+const BlockSize = 32
+
+// PageSize is the home-placement granularity.
+const PageSize = 4096
+
+// Latencies (processor cycles), from Table 6.
+type Latencies struct {
+	CacheHit   uint64 // column buffer or FLC hit
+	FlitCycles uint64 // fabric time per extra 32 B of a large coherence unit
+	VictimHit  uint64 // victim cache hit (proposed only)
+	LocalMem   uint64 // local memory or INC array access
+	INCExtra   uint64 // additional cycles for the INC tag check
+	SLCHit     uint64 // second-level cache hit (reference only)
+	LocalCold  uint64 // reference: local memory beyond the SLC (model choice; see doc.go)
+	RemoteLoad uint64 // fetch a block from a remote node
+	InvalRT    uint64 // invalidation round trip
+}
+
+// DefaultLatencies returns Table 6 plus the two modelling choices the
+// table leaves implicit (INCExtra = 1 cycle of the "1 to 2" the paper
+// quotes; LocalCold = 12 for the reference system's cold local misses,
+// an SLC lookup followed by a DRAM access behind a conventional bus).
+func DefaultLatencies() Latencies {
+	t := paperref.Table6
+	return Latencies{
+		CacheHit:   uint64(t.ColumnBufferHit),
+		FlitCycles: 5, // 32 B at ~1.25 GB/s is ~25 ns = 5 cycles @200 MHz
+		VictimHit:  uint64(t.VictimHit),
+		LocalMem:   uint64(t.LocalMemory),
+		INCExtra:   1,
+		SLCHit:     uint64(t.SLCHit),
+		LocalCold:  12,
+		RemoteLoad: uint64(t.RemoteLoad),
+		InvalRT:    uint64(t.InvalidationRT),
+	}
+}
+
+// dirState is the home directory state of one block.
+type dirState uint8
+
+const (
+	dirHome   dirState = iota // only the home may have it cached
+	dirShared                 // read-only copies at Sharers
+	dirDirty                  // exclusive modified copy at Owner
+)
+
+type dirEntry struct {
+	state   dirState
+	sharers uint64 // bitmask of nodes with copies (excluding home implicit copy)
+	owner   int
+}
+
+// Machine is a complete shared-memory machine: N nodes plus the
+// directory. It implements the access-timing interface consumed by
+// internal/mpsim.
+type Machine struct {
+	Nodes []Node
+	Lat   Latencies
+	// Unit is the coherence granularity in bytes (32 in the paper;
+	// configurable for the false-sharing ablation of EXPERIMENTS.md).
+	Unit uint64
+
+	dir  map[uint64]*dirEntry // block number -> entry
+	home map[uint64]int       // explicit page placement (page -> node)
+	eng  *engines             // optional protocol-engine occupancy model
+
+	// Stats
+	RemoteLoads   int64
+	Invalidations int64
+	LocalAccesses int64
+	Hits          int64
+	Accesses      int64
+}
+
+// Node is the architecture-specific per-node cache state.
+type Node interface {
+	// Access services a load or store issued by this node at the given
+	// address, which the caller has already classified as local
+	// (home == this node) or remote. It returns the latency excluding
+	// any coherence (directory) penalty, and records internal state.
+	// fetched reports whether a remote block had to be brought in (an
+	// INC/SLC miss) — the caller charges RemoteLoad in that case.
+	Access(addr uint64, write, local bool) (lat uint64, fetched bool)
+	// Invalidate removes the coherence unit [base, base+size) from all
+	// caching structures of this node.
+	Invalidate(base, size uint64)
+}
+
+// NewMachine builds a machine with n nodes using the given node
+// constructor (one of NewIntegratedNode / NewReferenceNode wrappers).
+func NewMachine(n int, lat Latencies, mk func(id int) Node) *Machine {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("coherence: node count %d outside 1..64", n))
+	}
+	m := &Machine{Lat: lat, Unit: BlockSize, dir: make(map[uint64]*dirEntry)}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, mk(i))
+	}
+	return m
+}
+
+// HomeOf maps an address to its home node: explicitly placed pages
+// first (Place), then round-robin page interleaving.
+func (m *Machine) HomeOf(addr uint64) int {
+	if n, ok := m.home[addr/PageSize]; ok {
+		return n
+	}
+	return int((addr / PageSize) % uint64(len(m.Nodes)))
+}
+
+// Place assigns the pages covering [base, base+size) to the given
+// node, overriding the default interleaving. Parallel workloads use it
+// to co-locate each processor's partition with its node, as the
+// paper's simulations (and any real CC-NUMA allocator) would.
+func (m *Machine) Place(base, size uint64, node int) {
+	if node < 0 || node >= len(m.Nodes) {
+		panic(fmt.Sprintf("coherence: Place on unknown node %d", node))
+	}
+	if m.home == nil {
+		m.home = make(map[uint64]int)
+	}
+	for page := base / PageSize; page <= (base+size-1)/PageSize; page++ {
+		m.home[page] = node
+	}
+}
+
+func (m *Machine) entry(block uint64) *dirEntry {
+	e := m.dir[block]
+	if e == nil {
+		e = &dirEntry{state: dirHome}
+		m.dir[block] = e
+	}
+	return e
+}
+
+// Access services one memory reference from proc and returns its
+// latency in cycles. The protocol actions (invalidations, ownership
+// transfer) are applied immediately; their cost is the fixed Table 6
+// round-trip latencies.
+func (m *Machine) Access(proc int, addr uint64, write bool) uint64 {
+	m.Accesses++
+	block := addr / m.Unit
+	home := m.HomeOf(addr)
+	local := home == proc
+	e := m.entry(block)
+
+	var coherencePenalty uint64
+
+	if local {
+		m.LocalAccesses++
+		switch e.state {
+		case dirDirty:
+			if e.owner != proc {
+				// Recall the dirty copy from the remote owner.
+				m.Nodes[e.owner].Invalidate(block*m.Unit, m.Unit)
+				m.RemoteLoads++
+				coherencePenalty += m.Lat.RemoteLoad
+				e.state = dirHome
+				e.sharers = 0
+			}
+		case dirShared:
+			if write {
+				// Invalidate all remote sharers.
+				m.invalidateSharers(e, proc, block)
+				coherencePenalty += m.Lat.InvalRT
+				e.state = dirHome
+			}
+		}
+	} else {
+		// Remote access: consult the home directory.
+		switch e.state {
+		case dirDirty:
+			if e.owner != proc {
+				m.Nodes[e.owner].Invalidate(block*m.Unit, m.Unit)
+				e.state = dirHome
+				e.sharers = 0
+				coherencePenalty += m.Lat.RemoteLoad // owner -> home writeback trip
+			}
+		case dirShared:
+			if write {
+				m.invalidateSharers(e, proc, block)
+				coherencePenalty += m.Lat.InvalRT
+				e.state = dirHome
+				e.sharers = 0
+			}
+		}
+		if write {
+			e.state = dirDirty
+			e.owner = proc
+			e.sharers = 1 << uint(proc)
+			// The home node's own cached copy becomes stale.
+			m.Nodes[home].Invalidate(block*m.Unit, m.Unit)
+		} else {
+			if e.state != dirDirty {
+				e.state = dirShared
+			}
+			e.sharers |= 1 << uint(proc)
+		}
+	}
+
+	lat, fetched := m.Nodes[proc].Access(addr, write, local)
+	if fetched && !local {
+		m.RemoteLoads++
+		// Larger coherence units pay a serialisation term on top of
+		// the round trip (fabric time per extra 32 B flit).
+		lat += m.Lat.RemoteLoad + (m.Unit/32-1)*m.Lat.FlitCycles
+	}
+	if lat == m.Lat.CacheHit && coherencePenalty == 0 {
+		m.Hits++
+	}
+	return lat + coherencePenalty
+}
+
+func (m *Machine) invalidateSharers(e *dirEntry, except int, block uint64) {
+	for n := 0; n < len(m.Nodes); n++ {
+		if n == except {
+			continue
+		}
+		if e.sharers&(1<<uint(n)) != 0 {
+			m.Nodes[n].Invalidate(block*m.Unit, m.Unit)
+			m.Invalidations++
+		}
+	}
+	e.sharers = 0
+}
+
+// cacheKind re-exports the trace kind for sibling files.
+type cacheKind = trace.Kind
+
+// kindOf maps a write flag to the trace kind used by the cache models.
+func kindOf(write bool) trace.Kind {
+	if write {
+		return trace.Store
+	}
+	return trace.Load
+}
+
+// ---------------------------------------------------------------------
+// Integrated node.
+// ---------------------------------------------------------------------
+
+// INC is the Inter-Node Cache: 7-way set-associative over 32 B blocks,
+// seven blocks plus a tag block per 512 B DRAM column (Figure 6).
+type INC struct {
+	sets   int
+	ways   int
+	blocks [][]uint64 // [set][way] block numbers; MRU first
+	valid  [][]bool
+	Hits   int64
+	Misses int64
+}
+
+// NewINC builds an INC of the given total data capacity in bytes
+// (1 MB in the paper's simulations) holding blocks of unitBytes, with
+// the paper's 7-way organisation.
+func NewINC(capacityBytes, unitBytes uint64) *INC {
+	return NewINCWays(capacityBytes, unitBytes, 7)
+}
+
+// NewINCWays builds an INC with explicit associativity (for the
+// ablation study; the paper's column organisation fixes it at 7).
+func NewINCWays(capacityBytes, unitBytes uint64, ways int) *INC {
+	if ways < 1 {
+		panic("coherence: INC needs at least one way")
+	}
+	// With the paper's 32 B units, each 512 B column holds 7 data
+	// blocks plus the tag block (Figure 6); sets = columns. Larger
+	// units keep the 7-way organisation with proportionally fewer sets.
+	sets := int(capacityBytes / (16 * unitBytes)) // 512 B column per 16 units @32 B
+	if sets < 1 {
+		sets = 1
+	}
+	inc := &INC{sets: sets, ways: ways}
+	inc.blocks = make([][]uint64, sets)
+	inc.valid = make([][]bool, sets)
+	for i := range inc.blocks {
+		inc.blocks[i] = make([]uint64, ways)
+		inc.valid[i] = make([]bool, ways)
+	}
+	return inc
+}
+
+// NewMachineINC builds an integrated machine whose nodes use an INC
+// of the given associativity and capacity (ablation support; the paper
+// uses 7 ways and 1 MB).
+func NewMachineINC(cfg Config, n, ways int, incBytes uint64) *Machine {
+	lat := DefaultLatencies()
+	withVictim := cfg == IntegratedVictim
+	return NewMachine(n, lat, func(id int) Node {
+		node := NewIntegratedNode(id, lat, withVictim, incBytes)
+		node.inc = NewINCWays(incBytes, BlockSize, ways)
+		return node
+	})
+}
+
+func (c *INC) set(block uint64) int { return int(block % uint64(c.sets)) }
+
+// Sets returns the number of sets (for tests and ablations).
+func (c *INC) Sets() int { return c.sets }
+
+// Lookup probes the INC for the block, updating LRU on a hit.
+func (c *INC) Lookup(block uint64) bool {
+	s := c.set(block)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.blocks[s][w] == block {
+			b := c.blocks[s][w]
+			copy(c.blocks[s][1:w+1], c.blocks[s][:w])
+			copy(c.valid[s][1:w+1], c.valid[s][:w])
+			c.blocks[s][0] = b
+			c.valid[s][0] = true
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Insert places the block at MRU, evicting the set's LRU way.
+func (c *INC) Insert(block uint64) {
+	s := c.set(block)
+	copy(c.blocks[s][1:], c.blocks[s][:c.ways-1])
+	copy(c.valid[s][1:], c.valid[s][:c.ways-1])
+	c.blocks[s][0] = block
+	c.valid[s][0] = true
+}
+
+// Invalidate removes the block if present.
+func (c *INC) Invalidate(block uint64) bool {
+	s := c.set(block)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.blocks[s][w] == block {
+			copy(c.blocks[s][w:], c.blocks[s][w+1:])
+			c.valid[s][c.ways-1] = false
+			// compact valid flags too
+			copy(c.valid[s][w:], c.valid[s][w+1:])
+			c.valid[s][c.ways-1] = false
+			return true
+		}
+	}
+	return false
+}
+
+// IntegratedNode is the proposed processor/memory device as a
+// multiprocessor node.
+type IntegratedNode struct {
+	id     int
+	lat    Latencies
+	unit   uint64 // coherence unit (32 B in the paper)
+	dcache *cache.SetAssoc
+	victim *cache.Victim // nil when the victim cache is disabled
+	inc    *INC
+	// poisoned marks 32 B blocks invalidated inside a still-resident
+	// 512 B column buffer line (coherence is per-block; the column
+	// buffer keeps per-block valid bits).
+	poisoned map[uint64]bool
+
+	ColumnFills int64
+}
+
+// NewIntegratedNode builds a node with the paper's cache organisation.
+// withVictim selects the victim-cache-augmented variant of Figures
+// 13–17. incBytes is the INC capacity (1 MB in the paper).
+func NewIntegratedNode(id int, lat Latencies, withVictim bool, incBytes uint64) *IntegratedNode {
+	return NewIntegratedNodeUnit(id, lat, withVictim, incBytes, BlockSize)
+}
+
+// NewIntegratedNodeUnit builds a node with a non-default coherence
+// unit (the false-sharing ablation).
+func NewIntegratedNodeUnit(id int, lat Latencies, withVictim bool, incBytes, unit uint64) *IntegratedNode {
+	n := &IntegratedNode{
+		id:       id,
+		lat:      lat,
+		unit:     unit,
+		dcache:   cache.ProposedDCache(),
+		inc:      NewINC(incBytes, unit),
+		poisoned: make(map[uint64]bool),
+	}
+	if withVictim {
+		n.victim = cache.ProposedVictim()
+	}
+	return n
+}
+
+// Access implements Node.
+func (n *IntegratedNode) Access(addr uint64, write, local bool) (uint64, bool) {
+	block := addr / n.unit
+	kind := trace.Load
+	if write {
+		kind = trace.Store
+	}
+
+	if local {
+		// Local data flows through the column buffers directly.
+		if n.dcache.Probe(addr) && !n.poisoned[block] {
+			n.dcache.Access(addr, kind) // LRU update
+			return n.lat.CacheHit, false
+		}
+		if n.victim != nil && n.victim.Lookup(addr) {
+			return n.lat.VictimHit, false
+		}
+		// DRAM array access fills the whole 512 B column (the paper's
+		// single-cycle fill after the array access).
+		n.fill(addr, kind)
+		return n.lat.LocalMem, false
+	}
+
+	// Remote data is cached in the INC, which lives in the DRAM array:
+	// every INC access pays the array access plus the tag-block check
+	// (Table 6: "Access local memory & INC: 6", plus the 1–2 extra
+	// cycles of Section 4.2). Only the victim cache — doubling as the
+	// staging area for imported data — can serve remote blocks at
+	// processor speed, which is precisely why it matters so much for
+	// WATER (Section 6.2).
+	if n.victim != nil && n.victim.Lookup(addr) && !n.poisoned[block] {
+		return n.lat.VictimHit, false
+	}
+	arrayCost := n.lat.LocalMem + n.lat.INCExtra
+	if n.inc.Lookup(block) && !n.poisoned[block] {
+		if n.victim != nil {
+			n.victim.Insert(addr)
+		}
+		return arrayCost, false
+	}
+	// INC miss: fetch the block from its home node (the 512 B column
+	// organisation gives the INC its 7-way associativity, which is
+	// what keeps these misses rare). The caller charges the flat
+	// 80-cycle remote load of Table 6; the INC array update overlaps
+	// the round trip, so no array cost is added here.
+	delete(n.poisoned, block)
+	n.inc.Insert(block)
+	if n.victim != nil {
+		n.victim.Insert(addr)
+	}
+	return 0, true
+}
+
+// fill loads the 512 B column containing addr into the D-cache,
+// staging the evicted line's MRU sub-block into the victim cache.
+func (n *IntegratedNode) fill(addr uint64, kind trace.Kind) {
+	if n.victim != nil {
+		n.dcache.OnEvict = func(e cache.Eviction) {
+			sub := e.Addr + uint64(e.LastSub)/cache.VictimLineSize*cache.VictimLineSize
+			n.victim.Insert(sub)
+		}
+	}
+	n.dcache.Access(addr, kind)
+	n.ColumnFills++
+	// The whole column is now valid: clear any poisoned blocks in it.
+	lineBase := addr / 512 * 512
+	for b := lineBase / n.unit; b <= (lineBase+511)/n.unit; b++ {
+		delete(n.poisoned, b)
+	}
+}
+
+// Invalidate implements Node.
+func (n *IntegratedNode) Invalidate(base, size uint64) {
+	block := base / n.unit
+	if n.dcache.Probe(base) {
+		n.poisoned[block] = true
+	}
+	if n.victim != nil {
+		// The unit may span several victim-cache entries.
+		for a := base; a < base+size; a += cache.VictimLineSize {
+			n.victim.Invalidate(a)
+		}
+	}
+	n.inc.Invalidate(block)
+}
+
+// ---------------------------------------------------------------------
+// Reference CC-NUMA node.
+// ---------------------------------------------------------------------
+
+// ReferenceNode is the comparison CC-NUMA node: 16 KB direct-mapped
+// FLC with 32 B lines and an infinite SLC.
+type ReferenceNode struct {
+	id   int
+	lat  Latencies
+	unit uint64
+	flc  *cache.SetAssoc
+	slc  map[uint64]bool // infinite second-level cache: block presence
+}
+
+// NewReferenceNode builds a reference node.
+func NewReferenceNode(id int, lat Latencies) *ReferenceNode {
+	return NewReferenceNodeUnit(id, lat, BlockSize)
+}
+
+// NewReferenceNodeUnit builds a reference node with a non-default
+// coherence unit.
+func NewReferenceNodeUnit(id int, lat Latencies, unit uint64) *ReferenceNode {
+	return &ReferenceNode{
+		id:   id,
+		lat:  lat,
+		unit: unit,
+		flc:  cache.NewDirectMapped("FLC 16KB DM 32B", 16<<10, 32),
+		slc:  make(map[uint64]bool),
+	}
+}
+
+// Access implements Node.
+func (n *ReferenceNode) Access(addr uint64, write, local bool) (uint64, bool) {
+	block := addr / n.unit
+	kind := trace.Load
+	if write {
+		kind = trace.Store
+	}
+	if n.flc.Access(addr, kind) && n.slc[block] {
+		return n.lat.CacheHit, false
+	}
+	if n.slc[block] {
+		return n.lat.SLCHit, false
+	}
+	n.slc[block] = true
+	if local {
+		return n.lat.LocalCold, false
+	}
+	return 0, true // caller charges RemoteLoad
+}
+
+// Invalidate implements Node.
+func (n *ReferenceNode) Invalidate(base, size uint64) {
+	for a := base; a < base+size; a += 32 {
+		n.flc.Invalidate(a)
+	}
+	delete(n.slc, base/n.unit)
+}
+
+// ---------------------------------------------------------------------
+// Machine constructors for the three configurations of Figures 13–17.
+// ---------------------------------------------------------------------
+
+// Config selects one of the paper's three simulated systems.
+type Config int
+
+// The three systems compared in Figures 13–17.
+const (
+	ReferenceCCNUMA  Config = iota // FLC + infinite SLC
+	IntegratedPlain                // column buffers + INC, no victim cache
+	IntegratedVictim               // column buffers + victim cache + INC
+)
+
+func (c Config) String() string {
+	switch c {
+	case ReferenceCCNUMA:
+		return "reference CC-NUMA"
+	case IntegratedPlain:
+		return "integrated (no victim)"
+	case IntegratedVictim:
+		return "integrated + victim"
+	case SimpleCOMA:
+		return "integrated S-COMA"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}
+
+// INCBytes is the paper's per-node Inter-Node Cache capacity.
+const INCBytes = 1 << 20
+
+// NewConfiguredMachine builds an n-node machine of the given config
+// with Table 6 latencies and the paper's 32 B coherence unit.
+func NewConfiguredMachine(cfg Config, n int) *Machine {
+	return NewConfiguredMachineUnit(cfg, n, BlockSize)
+}
+
+// NewConfiguredMachineUnit builds a machine with a non-default
+// coherence unit. The paper argues (Section 6.2) that the 512 B cache
+// lines must NOT be used as coherence units — this constructor lets
+// the ablation experiments demonstrate why.
+func NewConfiguredMachineUnit(cfg Config, n int, unit uint64) *Machine {
+	if unit < 32 || unit&(unit-1) != 0 {
+		panic("coherence: unit must be a power of two >= 32")
+	}
+	lat := DefaultLatencies()
+	var m *Machine
+	switch cfg {
+	case ReferenceCCNUMA:
+		m = NewMachine(n, lat, func(id int) Node { return NewReferenceNodeUnit(id, lat, unit) })
+	case IntegratedPlain:
+		m = NewMachine(n, lat, func(id int) Node {
+			return NewIntegratedNodeUnit(id, lat, false, INCBytes, unit)
+		})
+	case IntegratedVictim:
+		m = NewMachine(n, lat, func(id int) Node {
+			return NewIntegratedNodeUnit(id, lat, true, INCBytes, unit)
+		})
+	case SimpleCOMA:
+		if unit != BlockSize {
+			panic("coherence: S-COMA supports only the 32 B coherence unit")
+		}
+		m = NewSCOMAMachine(n)
+	default:
+		panic("coherence: unknown config")
+	}
+	m.Unit = unit
+	return m
+}

@@ -1,0 +1,277 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newRefMachine(n int) *Machine {
+	return NewConfiguredMachine(ReferenceCCNUMA, n)
+}
+
+func newIntMachine(n int, victim bool) *Machine {
+	cfg := IntegratedPlain
+	if victim {
+		cfg = IntegratedVictim
+	}
+	return NewConfiguredMachine(cfg, n)
+}
+
+func TestHomePlacement(t *testing.T) {
+	m := newRefMachine(4)
+	if m.HomeOf(0) != 0 || m.HomeOf(PageSize) != 1 || m.HomeOf(4*PageSize) != 0 {
+		t.Error("default interleaving wrong")
+	}
+	m.Place(0x100000, 3*PageSize, 2)
+	for off := uint64(0); off < 3*PageSize; off += PageSize {
+		if m.HomeOf(0x100000+off) != 2 {
+			t.Errorf("placed page at +%#x homed at %d", off, m.HomeOf(0x100000+off))
+		}
+	}
+	if m.HomeOf(0x100000+3*PageSize) == 2 && (0x100000/PageSize+3)%4 != 2 {
+		t.Error("placement leaked past the region")
+	}
+}
+
+func TestReferenceLocalLatencies(t *testing.T) {
+	m := newRefMachine(2)
+	lat := m.Lat
+	addr := uint64(0) // home node 0
+	if got := m.Access(0, addr, false); got != lat.LocalCold {
+		t.Errorf("cold local access = %d, want %d", got, lat.LocalCold)
+	}
+	if got := m.Access(0, addr, false); got != lat.CacheHit {
+		t.Errorf("FLC hit = %d, want %d", got, lat.CacheHit)
+	}
+	// Evict from the 16 KB FLC but not the infinite SLC.
+	m.Access(0, addr+16<<10, false)
+	if got := m.Access(0, addr, false); got != lat.SLCHit {
+		t.Errorf("SLC hit = %d, want %d", got, lat.SLCHit)
+	}
+}
+
+func TestReferenceRemoteLoad(t *testing.T) {
+	m := newRefMachine(2)
+	addr := uint64(PageSize) // home node 1
+	if got := m.Access(0, addr, false); got != m.Lat.RemoteLoad {
+		t.Errorf("remote cold load = %d, want %d", got, m.Lat.RemoteLoad)
+	}
+	if got := m.Access(0, addr, false); got != m.Lat.CacheHit {
+		t.Errorf("cached remote = %d, want FLC hit", got)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := newRefMachine(4)
+	addr := uint64(0)        // home 0
+	m.Access(1, addr, false) // node 1 reads (remote)
+	m.Access(2, addr, false) // node 2 reads
+	inv := m.Invalidations
+	// Home writes: must invalidate both sharers with one round trip.
+	if got := m.Access(0, addr, true); got < m.Lat.InvalRT {
+		t.Errorf("writing shared block = %d, want >= invalidation RT %d", got, m.Lat.InvalRT)
+	}
+	if m.Invalidations != inv+2 {
+		t.Errorf("invalidations = %d, want %d", m.Invalidations, inv+2)
+	}
+	// The sharers' copies are gone: their next read is remote again.
+	if got := m.Access(1, addr, false); got != m.Lat.RemoteLoad {
+		t.Errorf("read after invalidation = %d, want remote load", got)
+	}
+}
+
+func TestDirtyRemoteRecall(t *testing.T) {
+	m := newRefMachine(2)
+	addr := uint64(0)       // home 0
+	m.Access(1, addr, true) // node 1 writes: dirty remote
+	// Home read must recall the dirty copy.
+	if got := m.Access(0, addr, false); got < m.Lat.RemoteLoad {
+		t.Errorf("recall = %d, want >= remote load", got)
+	}
+	// Node 1's copy must be invalid now.
+	if got := m.Access(1, addr, false); got != m.Lat.RemoteLoad {
+		t.Errorf("old owner re-read = %d, want remote load", got)
+	}
+}
+
+func TestIntegratedLocalColumnPrefetch(t *testing.T) {
+	m := newIntMachine(1, false)
+	// First access to a column: array access (6). The 512 B fill makes
+	// the rest of the column hit at 1 cycle.
+	if got := m.Access(0, 0, false); got != m.Lat.LocalMem {
+		t.Errorf("cold column = %d, want %d", got, m.Lat.LocalMem)
+	}
+	for off := uint64(32); off < 512; off += 32 {
+		if got := m.Access(0, off, false); got != m.Lat.CacheHit {
+			t.Fatalf("offset %d = %d, want column-buffer hit", off, got)
+		}
+	}
+}
+
+func TestIntegratedINCCostsArrayAccess(t *testing.T) {
+	m := newIntMachine(2, false)
+	addr := uint64(PageSize) // home 1, remote for node 0
+	if got := m.Access(0, addr, false); got != m.Lat.RemoteLoad {
+		t.Errorf("INC cold fetch = %d, want flat remote load %d", got, m.Lat.RemoteLoad)
+	}
+	// Re-reads hit the INC but still pay the DRAM array + tag check.
+	want := m.Lat.LocalMem + m.Lat.INCExtra
+	if got := m.Access(0, addr, false); got != want {
+		t.Errorf("INC hit = %d, want %d", got, want)
+	}
+}
+
+func TestVictimStagesRemoteData(t *testing.T) {
+	m := newIntMachine(2, true)
+	addr := uint64(PageSize)
+	m.Access(0, addr, false) // remote fetch; staged in victim
+	if got := m.Access(0, addr, false); got != m.Lat.VictimHit {
+		t.Errorf("staged re-read = %d, want victim hit %d", got, m.Lat.VictimHit)
+	}
+}
+
+func TestPoisonedSubBlock(t *testing.T) {
+	m := newIntMachine(2, false)
+	addr := uint64(0)        // home 0
+	m.Access(0, addr, false) // node 0 caches its column
+	m.Access(1, addr, true)  // node 1 writes: home copy poisoned
+	// Node 0's next read must not hit the stale column buffer: it
+	// recalls the dirty copy (remote round trip).
+	if got := m.Access(0, addr, false); got < m.Lat.RemoteLoad {
+		t.Errorf("read of poisoned block = %d, want >= remote recall", got)
+	}
+	// But a different block in the same column is still valid.
+	if got := m.Access(0, addr+64, false); got != m.Lat.CacheHit {
+		t.Errorf("sibling block = %d, want column hit (per-block coherence)", got)
+	}
+}
+
+func TestINCSevenWayAssociativity(t *testing.T) {
+	inc := NewINC(512*8, 32)
+	sets := uint64(inc.Sets())
+	if sets < 2 {
+		t.Fatalf("degenerate INC: %d sets", sets)
+	}
+	// Nine blocks all mapping to set 0.
+	for i := uint64(0); i < 9; i++ {
+		inc.Insert(i * sets)
+	}
+	// The two oldest must be gone; the seven newest present.
+	if inc.Lookup(0) || inc.Lookup(sets) {
+		t.Error("LRU blocks survived in a 7-way set")
+	}
+	for i := uint64(2); i < 9; i++ {
+		if !inc.Lookup(i * sets) {
+			t.Errorf("block %d missing", i*sets)
+		}
+	}
+}
+
+func TestINCInvalidate(t *testing.T) {
+	inc := NewINC(512*8, 32)
+	inc.Insert(40)
+	if !inc.Invalidate(40) {
+		t.Error("Invalidate missed")
+	}
+	if inc.Lookup(40) {
+		t.Error("block survived Invalidate")
+	}
+	if inc.Invalidate(40) {
+		t.Error("double Invalidate hit")
+	}
+}
+
+// TestSingleWriterInvariant (property): after any access sequence, at
+// most one node believes it can write a block (the directory's dirty
+// owner), checked indirectly: writes by different nodes must always
+// cost at least an ownership transfer when interleaved.
+func TestSingleWriterInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := newIntMachine(4, true)
+		const addr = 0
+		lastWriter := -1
+		for _, op := range ops {
+			proc := int(op % 4)
+			write := op%2 == 0
+			lat := m.Access(proc, addr, write)
+			if write && lastWriter >= 0 && lastWriter != proc {
+				// Ownership moved: must have paid a coherence penalty.
+				if lat < m.Lat.InvalRT && lat < m.Lat.RemoteLoad {
+					return false
+				}
+			}
+			if write {
+				lastWriter = proc
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigStrings(t *testing.T) {
+	for _, c := range []Config{ReferenceCCNUMA, IntegratedPlain, IntegratedVictim, Config(99)} {
+		if c.String() == "" {
+			t.Errorf("Config(%d) has empty string", int(c))
+		}
+	}
+}
+
+func TestMachineRejectsBadNodeCounts(t *testing.T) {
+	for _, n := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMachine(%d) did not panic", n)
+				}
+			}()
+			NewConfiguredMachine(ReferenceCCNUMA, n)
+		}()
+	}
+}
+
+func TestPlaceRejectsUnknownNode(t *testing.T) {
+	m := newRefMachine(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Place accepted an unknown node")
+		}
+	}()
+	m.Place(0, PageSize, 5)
+}
+
+func TestUnitConstructorValidation(t *testing.T) {
+	for _, unit := range []uint64{16, 48, 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("unit %d accepted", unit)
+				}
+			}()
+			NewConfiguredMachineUnit(IntegratedVictim, 2, unit)
+		}()
+	}
+	// S-COMA only supports the 32 B unit.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("S-COMA with a 512 B unit accepted")
+			}
+		}()
+		NewConfiguredMachineUnit(SimpleCOMA, 2, 512)
+	}()
+}
+
+func TestLargeUnitInvalidatesWholeRange(t *testing.T) {
+	m := NewConfiguredMachineUnit(IntegratedVictim, 2, 512)
+	// Node 0 caches a local column; node 1 writes one block in the
+	// same 512 B unit; every block of the unit must then be stale for
+	// node 0 (false sharing at work).
+	m.Access(0, 0, false)
+	m.Access(1, 480, true)
+	if got := m.Access(0, 64, false); got < m.Lat.RemoteLoad {
+		t.Errorf("sibling block after unit invalidation = %d, want a recall", got)
+	}
+}

@@ -1,0 +1,151 @@
+package coherence
+
+import "repro/internal/cache"
+
+// Simple-COMA support. Section 4.2 of the paper states that the
+// protocol engines' downloadable microcode supports both CC-NUMA and
+// Simple-COMA shared memory; the multiprocessor evaluation (Section 6)
+// uses only the CC-NUMA mode, so this file is the reproduction's
+// implementation of the *other* mode, following the cited design
+// (Saulsbury et al., "An Argument for Simple COMA", HPCA'95):
+//
+//   - local memory acts as a page-granularity attraction memory: the
+//     first touch of a remote page allocates a local frame (a software
+//     trap, charged PageAllocCycles);
+//
+//   - within an allocated frame, data is fetched and kept coherent at
+//     the usual 32 B block granularity, but once fetched it lives in
+//     *local* DRAM — so re-accesses enjoy the full column-buffer path
+//     (1-cycle hits, 512 B fills) instead of the INC's array access.
+//
+// The trade against CC-NUMA: S-COMA converts remote re-access latency
+// into local latency at the price of page-allocation traps and memory
+// consumption (frames are never reclaimed in this model, matching the
+// paper-scale working sets).
+
+// PageAllocCycles is the software page-allocation cost charged on the
+// first touch of a remote page (an OS trap plus page-table work).
+const PageAllocCycles = 150
+
+// SCOMANode is a Simple-COMA processing element: the same column
+// buffers and victim cache as the integrated node, with an attraction
+// memory replacing the INC.
+type SCOMANode struct {
+	id     int
+	lat    Latencies
+	unit   uint64
+	dcache *cache.SetAssoc
+	victim *cache.Victim
+
+	frames   map[uint64]bool // allocated local frames for remote pages
+	valid    map[uint64]bool // fetched remote blocks
+	poisoned map[uint64]bool // per-block invalidation inside resident columns
+
+	// Allocations counts page-frame allocations (for reports).
+	Allocations int64
+}
+
+// NewSCOMANode builds a Simple-COMA node.
+func NewSCOMANode(id int, lat Latencies, withVictim bool) *SCOMANode {
+	n := &SCOMANode{
+		id:       id,
+		lat:      lat,
+		unit:     BlockSize,
+		dcache:   cache.ProposedDCache(),
+		frames:   make(map[uint64]bool),
+		valid:    make(map[uint64]bool),
+		poisoned: make(map[uint64]bool),
+	}
+	if withVictim {
+		n.victim = cache.ProposedVictim()
+	}
+	return n
+}
+
+// Access implements Node.
+func (n *SCOMANode) Access(addr uint64, write, local bool) (uint64, bool) {
+	block := addr / n.unit
+	kind := kindOf(write)
+
+	var alloc uint64
+	if !local {
+		page := addr / PageSize
+		if !n.frames[page] {
+			n.frames[page] = true
+			n.Allocations++
+			alloc = PageAllocCycles
+		}
+		if !n.valid[block] || n.poisoned[block] {
+			// Block-grain fetch into the attraction memory; the caller
+			// charges the remote round trip.
+			n.valid[block] = true
+			delete(n.poisoned, block)
+			// The fetched block lands in local DRAM; prime the column
+			// buffer path like a local fill.
+			n.localFill(addr, kind)
+			return alloc, true
+		}
+	}
+	// Local data, or a remote block already resident in the attraction
+	// memory: the ordinary column-buffer path.
+	if n.dcache.Probe(addr) && !n.poisoned[block] {
+		n.dcache.Access(addr, kind)
+		return alloc + n.lat.CacheHit, false
+	}
+	if n.victim != nil && n.victim.Lookup(addr) && !n.poisoned[block] {
+		return alloc + n.lat.VictimHit, false
+	}
+	n.localFill(addr, kind)
+	return alloc + n.lat.LocalMem, false
+}
+
+func (n *SCOMANode) localFill(addr uint64, kind kindT) {
+	if n.victim != nil {
+		n.dcache.OnEvict = func(e cache.Eviction) {
+			sub := e.Addr + uint64(e.LastSub)/cache.VictimLineSize*cache.VictimLineSize
+			n.victim.Insert(sub)
+		}
+	}
+	n.dcache.Access(addr, kind)
+	lineBase := addr / 512 * 512
+	for b := lineBase / n.unit; b <= (lineBase+511)/n.unit; b++ {
+		// A column fill validates only what the attraction memory
+		// actually holds; poisoned (invalidated) blocks stay poisoned
+		// until re-fetched, so clear poison only here for blocks that
+		// are valid local copies.
+		if n.valid[b] {
+			delete(n.poisoned, b)
+		}
+	}
+}
+
+// Invalidate implements Node.
+func (n *SCOMANode) Invalidate(base, size uint64) {
+	block := base / n.unit
+	delete(n.valid, block)
+	if n.dcache.Probe(base) {
+		n.poisoned[block] = true
+	}
+	if n.victim != nil {
+		for a := base; a < base+size; a += cache.VictimLineSize {
+			n.victim.Invalidate(a)
+		}
+	}
+}
+
+// kindT aliases the trace kind used by the cache package.
+type kindT = cacheKind
+
+// SimpleCOMA is the additional machine configuration (the paper's
+// second protocol-engine personality).
+const SimpleCOMA Config = 3
+
+// NewSCOMAMachine builds an n-node Simple-COMA machine with the
+// integrated node's cache organisation (victim cache included, as in
+// the best-performing CC-NUMA variant).
+func NewSCOMAMachine(n int) *Machine {
+	lat := DefaultLatencies()
+	return NewMachine(n, lat, func(id int) Node {
+		return NewSCOMANode(id, lat, true)
+	})
+}

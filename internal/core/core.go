@@ -1,0 +1,179 @@
+// Package core models the integrated processor/memory device itself —
+// the chip of Figure 3 — as a structured, self-checking specification:
+// the DRAM array and its bank organisation, the column-buffer caches
+// carved out of it, the victim cache, the ECC/directory layout, the
+// processor core, the protocol engines, and the serial-link fabric.
+//
+// Where the other internal packages simulate behaviour, this package
+// captures the *architecture*: which numbers the paper commits to and
+// how they must relate (16 banks × 3 column buffers; a 64-bit datapath
+// at 200 MHz delivering 1.6 GB/s; an off-chip fabric sized to match;
+// an area budget the core must fit). Validate() re-derives every
+// relationship so that a configuration change that breaks the paper's
+// balance is caught by the test suite.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/costmodel"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/interconnect"
+)
+
+// Device is the full integrated processing element specification.
+type Device struct {
+	Name string
+
+	// ClockMHz is the processor and datapath clock.
+	ClockMHz int
+	// DRAM is the memory array organisation.
+	DRAM dram.Params
+	// ICacheBytes / ICacheLineBytes: the direct-mapped instruction
+	// cache built from one column buffer per bank.
+	ICacheBytes, ICacheLineBytes int
+	// DCacheBytes / DCacheWays / DCacheLineBytes: the data cache built
+	// from two column buffers per bank.
+	DCacheBytes, DCacheWays, DCacheLineBytes int
+	// VictimEntries × VictimLineBytes: the fully associative victim
+	// cache (one column's worth).
+	VictimEntries, VictimLineBytes int
+	// DatapathBits is the width of each of the two core<->memory
+	// datapaths (instruction and data).
+	DatapathBits int
+	// Links / LinkGbit: the serial interconnect.
+	Links    int
+	LinkGbit float64
+	// ProtocolEngines is the number of coherence/communication engines.
+	ProtocolEngines int
+	// INCBytes is the default Inter-Node Cache capacity.
+	INCBytes int
+	// Cost carries the Section 3 economics.
+	Cost costmodel.Inputs
+}
+
+// Proposed returns the paper's device.
+func Proposed() Device {
+	return Device{
+		Name:            "integrated 256Mbit PE",
+		ClockMHz:        200,
+		DRAM:            dram.Proposed(),
+		ICacheBytes:     8 << 10,
+		ICacheLineBytes: 512,
+		DCacheBytes:     16 << 10,
+		DCacheWays:      2,
+		DCacheLineBytes: 512,
+		VictimEntries:   16,
+		VictimLineBytes: 32,
+		DatapathBits:    64,
+		Links:           4,
+		LinkGbit:        2.5,
+		ProtocolEngines: 2,
+		INCBytes:        1 << 20,
+		Cost:            costmodel.Default(),
+	}
+}
+
+// MemoryBandwidthGBs returns one datapath's bandwidth in GB/s
+// (the paper: "each provides 1.6 GBytes/sec").
+func (d Device) MemoryBandwidthGBs() float64 {
+	return float64(d.DatapathBits) / 8 * float64(d.ClockMHz) * 1e6 / 1e9
+}
+
+// IOBandwidthGBs returns the peak raw off-chip bandwidth in GB/s.
+func (d Device) IOBandwidthGBs() float64 {
+	return float64(d.Links) * d.LinkGbit / 8
+}
+
+// Validate re-derives the structural relationships of Section 4.
+func (d Device) Validate() error {
+	if err := d.DRAM.Validate(); err != nil {
+		return err
+	}
+	// The I-cache is one column buffer per bank.
+	if d.ICacheBytes != d.DRAM.Banks*d.DRAM.ColumnBytes {
+		return fmt.Errorf("core: I-cache %d B != banks × column (%d × %d)",
+			d.ICacheBytes, d.DRAM.Banks, d.DRAM.ColumnBytes)
+	}
+	if d.ICacheLineBytes != d.DRAM.ColumnBytes {
+		return fmt.Errorf("core: I-cache line %d != column %d",
+			d.ICacheLineBytes, d.DRAM.ColumnBytes)
+	}
+	// The D-cache is two column buffers per bank (2-way).
+	if d.DCacheBytes != d.DCacheWays*d.DRAM.Banks*d.DRAM.ColumnBytes {
+		return fmt.Errorf("core: D-cache %d B != ways × banks × column", d.DCacheBytes)
+	}
+	// I + D column buffers per bank must match the DRAM's buffer count.
+	if want := 1 + d.DCacheWays; d.DRAM.BuffersPerBank != want {
+		return fmt.Errorf("core: %d buffers per bank, want %d (1 I + %d D)",
+			d.DRAM.BuffersPerBank, want, d.DCacheWays)
+	}
+	// The victim cache is exactly one column's worth of 32 B entries.
+	if d.VictimEntries*d.VictimLineBytes != d.DRAM.ColumnBytes {
+		return fmt.Errorf("core: victim %d×%d B != one %d B column",
+			d.VictimEntries, d.VictimLineBytes, d.DRAM.ColumnBytes)
+	}
+	// Datapath bandwidth: 64 bits at 200 MHz = 1.6 GB/s.
+	if bw := d.MemoryBandwidthGBs(); bw < 1.5 {
+		return fmt.Errorf("core: memory datapath %.2f GB/s below the paper's 1.6", bw)
+	}
+	// The paper sizes the fabric to match the internal bandwidth
+	// (4 × 2.5 Gbit/s ≈ 1.25 GB/s raw, "matching" at the GB/s scale).
+	if io := d.IOBandwidthGBs(); io < 1.0 {
+		return fmt.Errorf("core: I/O bandwidth %.2f GB/s too low to balance the datapath", io)
+	}
+	// The directory must fit the freed ECC bits.
+	if ecc.FreedBitsPer32B() < ecc.DirEntryBits {
+		return fmt.Errorf("core: directory entry does not fit the relaxed ECC budget")
+	}
+	// The processor must fit the 10% die budget.
+	if r := costmodel.Evaluate(d.Cost); !r.CoreFitsBudget {
+		return fmt.Errorf("core: CPU core exceeds the %0.f mm² area budget", r.ProcessorAreaMM2)
+	}
+	if d.ProtocolEngines != 2 {
+		return fmt.Errorf("core: %d protocol engines, want 2 (Section 4.2)", d.ProtocolEngines)
+	}
+	return nil
+}
+
+// Caches instantiates the device's cache models (fresh state).
+func (d Device) Caches() (icache *cache.SetAssoc, dcache *cache.WithVictim) {
+	ic := cache.NewSetAssoc("device I-cache",
+		uint64(d.ICacheBytes), uint64(d.ICacheLineBytes), 1)
+	dc := cache.NewSetAssoc("device D-cache",
+		uint64(d.DCacheBytes), uint64(d.DCacheLineBytes), d.DCacheWays)
+	vc := cache.NewVictim(d.VictimEntries, uint64(d.VictimLineBytes))
+	return ic, cache.NewWithVictim(dc, vc)
+}
+
+// Fabric instantiates the device's interconnect interface.
+func (d Device) Fabric() *interconnect.Node {
+	p := interconnect.Default()
+	p.GbitPerSec = d.LinkGbit
+	return interconnect.NewNode(d.Links, p)
+}
+
+// Datasheet renders the specification as key/value lines.
+func (d Device) Datasheet() []string {
+	return []string{
+		fmt.Sprintf("device:            %s", d.Name),
+		fmt.Sprintf("clock:             %d MHz", d.ClockMHz),
+		fmt.Sprintf("DRAM:              %d MB in %d banks, %d ns access",
+			d.DRAM.CapacityBytes>>20, d.DRAM.Banks, int(d.DRAM.AccessNanos())),
+		fmt.Sprintf("I-cache:           %d KB direct-mapped, %d B lines (column buffers)",
+			d.ICacheBytes>>10, d.ICacheLineBytes),
+		fmt.Sprintf("D-cache:           %d KB %d-way, %d B lines (column buffers)",
+			d.DCacheBytes>>10, d.DCacheWays, d.DCacheLineBytes),
+		fmt.Sprintf("victim cache:      %d × %d B fully associative",
+			d.VictimEntries, d.VictimLineBytes),
+		fmt.Sprintf("memory datapaths:  2 × %d bit = %.1f GB/s each",
+			d.DatapathBits, d.MemoryBandwidthGBs()),
+		fmt.Sprintf("interconnect:      %d × %.1f Gbit/s serial links (%.2f GB/s)",
+			d.Links, d.LinkGbit, d.IOBandwidthGBs()),
+		fmt.Sprintf("protocol engines:  %d (CC-NUMA / S-COMA microcode)", d.ProtocolEngines),
+		fmt.Sprintf("inter-node cache:  %d MB, 7-way, in-DRAM", d.INCBytes>>20),
+		fmt.Sprintf("directory:         %d bits per 32 B block, in ECC", ecc.DirEntryBits),
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProposedValidates(t *testing.T) {
+	if err := Proposed().Validate(); err != nil {
+		t.Fatalf("the paper's own device must validate: %v", err)
+	}
+}
+
+func TestBandwidths(t *testing.T) {
+	d := Proposed()
+	if got := d.MemoryBandwidthGBs(); got != 1.6 {
+		t.Errorf("datapath = %v GB/s, want 1.6 (64 bit × 200 MHz)", got)
+	}
+	if got := d.IOBandwidthGBs(); got != 1.25 {
+		t.Errorf("I/O = %v GB/s, want 1.25 (4 × 2.5 Gbit)", got)
+	}
+}
+
+// TestValidateCatchesImbalance: every structural relationship the
+// paper commits to must be enforced.
+func TestValidateCatchesImbalance(t *testing.T) {
+	mutations := map[string]func(*Device){
+		"icache size":  func(d *Device) { d.ICacheBytes = 16 << 10 },
+		"icache line":  func(d *Device) { d.ICacheLineBytes = 256 },
+		"dcache size":  func(d *Device) { d.DCacheBytes = 32 << 10 },
+		"buffers":      func(d *Device) { d.DRAM.BuffersPerBank = 2 },
+		"victim":       func(d *Device) { d.VictimEntries = 8 },
+		"datapath":     func(d *Device) { d.DatapathBits = 32 },
+		"links":        func(d *Device) { d.Links = 1 },
+		"engines":      func(d *Device) { d.ProtocolEngines = 1 },
+		"monster core": func(d *Device) { d.Cost.CPUCoreAreaMM2 = 200 },
+		"broken dram":  func(d *Device) { d.DRAM.Banks = 0 },
+	}
+	for name, mutate := range mutations {
+		d := Proposed()
+		mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an imbalanced device", name)
+		}
+	}
+}
+
+func TestCachesMatchSpec(t *testing.T) {
+	d := Proposed()
+	ic, dc := d.Caches()
+	if ic.Sets() != 16 || ic.LineSize() != 512 {
+		t.Errorf("I-cache instantiation: %d sets, %d B", ic.Sets(), ic.LineSize())
+	}
+	if dc.Main.Sets() != 16 || dc.Main.Ways() != 2 {
+		t.Errorf("D-cache instantiation: %d sets, %d ways", dc.Main.Sets(), dc.Main.Ways())
+	}
+}
+
+func TestFabric(t *testing.T) {
+	n := Proposed().Fabric()
+	if n.Links != 4 {
+		t.Errorf("fabric links = %d", n.Links)
+	}
+}
+
+func TestDatasheet(t *testing.T) {
+	lines := Proposed().Datasheet()
+	if len(lines) < 8 {
+		t.Fatalf("datasheet too short: %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"200 MHz", "32 MB", "16 banks", "victim", "2.5 Gbit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("datasheet missing %q", want)
+		}
+	}
+}

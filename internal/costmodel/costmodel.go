@@ -1,0 +1,67 @@
+// Package costmodel reproduces the cost and area arithmetic of
+// Section 3 of the paper: the CDRAM-extrapolated cost of adding a
+// processor to a 256 Mbit DRAM die, the die-area budget that the
+// processor core and protocol engines must fit, and the resulting
+// $/device comparison against a conventional CPU plus support chips.
+package costmodel
+
+// Inputs captures the paper's Section 3 assumptions; Default() returns
+// them verbatim so deviations are visible at call sites.
+type Inputs struct {
+	DRAMCapacityMbit  float64 // 256 Mbit device
+	DollarPerMByte    float64 // "today's DRAM prices of ~$25/Mbyte"
+	CDRAMAreaIncrease float64 // CDRAM die-size increase (7%)
+	CDRAMCostIncrease float64 // resulting cost increase (10%)
+	ProcessorAreaFrac float64 // die fraction added for the processor (10%)
+	DRAMDieAreaMM2    float64 // full 256 Mbit die area -> 10% = ~30 mm²
+	CPUCoreAreaMM2    float64 // R4300i-class core at 0.25 µm
+	ProtocolGates     int     // gates for the two protocol engines
+	ECCOverheadWords  float64 // check bits per 64-bit word (8/64)
+}
+
+// Default returns the paper's numbers.
+func Default() Inputs {
+	return Inputs{
+		DRAMCapacityMbit:  256,
+		DollarPerMByte:    25,
+		CDRAMAreaIncrease: 0.07,
+		CDRAMCostIncrease: 0.10,
+		ProcessorAreaFrac: 0.10,
+		DRAMDieAreaMM2:    300, // 10% ≈ 30 mm² per the paper
+		CPUCoreAreaMM2:    27,  // R4300i shrunk to 0.25 µm (< 30 mm²)
+		ProtocolGates:     60000,
+		ECCOverheadWords:  8.0 / 64.0,
+	}
+}
+
+// Result is the derived cost breakdown.
+type Result struct {
+	PlainDRAMDollars   float64 // 256 Mbit device at $/MB
+	IntegratedDollars  float64 // with the processor area added
+	ProcessorPremium   float64 // the delta — what the CPU "costs"
+	CostPerAreaFactor  float64 // cost growth per area growth (CDRAM)
+	ProcessorAreaMM2   float64 // area budget for the processor
+	CoreFitsBudget     bool    // CPU core fits the 10% budget
+	ECCOverheadPercent float64
+}
+
+// Evaluate computes the Section 3 arithmetic.
+func Evaluate(in Inputs) Result {
+	mbytes := in.DRAMCapacityMbit / 8
+	plain := mbytes * in.DollarPerMByte
+	// CDRAM precedent: 7% area -> 10% cost. Scale to the processor's
+	// area fraction.
+	costPerArea := in.CDRAMCostIncrease / in.CDRAMAreaIncrease
+	premiumFrac := in.ProcessorAreaFrac * costPerArea
+	integrated := plain * (1 + premiumFrac)
+	budget := in.DRAMDieAreaMM2 * in.ProcessorAreaFrac
+	return Result{
+		PlainDRAMDollars:   plain,
+		IntegratedDollars:  integrated,
+		ProcessorPremium:   integrated - plain,
+		CostPerAreaFactor:  costPerArea,
+		ProcessorAreaMM2:   budget,
+		CoreFitsBudget:     in.CPUCoreAreaMM2 <= budget,
+		ECCOverheadPercent: in.ECCOverheadWords * 100,
+	}
+}

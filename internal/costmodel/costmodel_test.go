@@ -1,0 +1,50 @@
+package costmodel
+
+import "testing"
+
+// TestPaperArithmetic pins the Section 3 numbers: a 256 Mbit device at
+// $25/MB is an $800 part, the CDRAM precedent prices area at ~1.43x,
+// and the R4300i-class core fits the 10% (30 mm²) budget.
+func TestPaperArithmetic(t *testing.T) {
+	r := Evaluate(Default())
+	if r.PlainDRAMDollars != 800 {
+		t.Errorf("plain device = $%v, want $800", r.PlainDRAMDollars)
+	}
+	if r.CostPerAreaFactor < 1.42 || r.CostPerAreaFactor > 1.44 {
+		t.Errorf("cost/area = %v, want ~1.43", r.CostPerAreaFactor)
+	}
+	// The integrated device lands between the plain $800 and the
+	// paper's rounded-up $1000.
+	if r.IntegratedDollars <= 800 || r.IntegratedDollars > 1000 {
+		t.Errorf("integrated device = $%v, want (800, 1000]", r.IntegratedDollars)
+	}
+	if r.ProcessorPremium <= 0 || r.ProcessorPremium > 200 {
+		t.Errorf("processor premium = $%v, want (0, 200]", r.ProcessorPremium)
+	}
+	if r.ProcessorAreaMM2 != 30 {
+		t.Errorf("area budget = %v mm², want 30", r.ProcessorAreaMM2)
+	}
+	if !r.CoreFitsBudget {
+		t.Error("the R4300i-class core must fit the 10% budget")
+	}
+	if r.ECCOverheadPercent != 12.5 {
+		t.Errorf("ECC overhead = %v%%, want 12.5", r.ECCOverheadPercent)
+	}
+}
+
+func TestOversizedCoreDoesNotFit(t *testing.T) {
+	in := Default()
+	in.CPUCoreAreaMM2 = 100 // a superscalar monster
+	if Evaluate(in).CoreFitsBudget {
+		t.Error("a 100 mm² core must not fit a 30 mm² budget")
+	}
+}
+
+func TestPremiumScalesWithArea(t *testing.T) {
+	small := Default()
+	big := Default()
+	big.ProcessorAreaFrac = 0.2
+	if Evaluate(big).ProcessorPremium <= Evaluate(small).ProcessorPremium {
+		t.Error("doubling the area fraction must raise the premium")
+	}
+}

@@ -1,0 +1,255 @@
+// Package dram models the banked DRAM array of the integrated
+// processor/memory device (Section 4.1): 16 independent banks in a
+// 256 Mbit device, 30 ns array access (6 cycles at 200 MHz), three
+// 512-byte column buffers per bank (one instruction, two data), and a
+// precharge window after each access during which the bank cannot
+// accept a new transaction (transition T2 of the Figure 9 GSPN).
+//
+// The model is a timing model, not a data store: program data lives in
+// the functional simulator's memory, while this package answers "when
+// will this access complete and how busy are the banks", feeding the
+// contention analysis of Sections 5.5–5.6.
+package dram
+
+import "fmt"
+
+// Params describes a DRAM device configuration.
+type Params struct {
+	Banks           int    // independent bank controllers
+	AccessCycles    int    // row access time, in CPU cycles
+	PrechargeCycles int    // bank recovery time after an access
+	ColumnBytes     int    // bytes transferred per array access
+	BuffersPerBank  int    // column buffers per bank
+	CapacityBytes   uint64 // device capacity
+	ClockMHz        int    // CPU clock the cycle counts refer to
+}
+
+// Proposed returns the paper's 256 Mbit, 16-bank device: 30 ns access =
+// 6 cycles at 200 MHz; 512 B column buffers; 3 buffers per bank (one
+// for the I-cache, two for the 2-way D-cache). The precharge window is
+// taken as half the access time, consistent with the "four free cycles"
+// the paper finds within the 6-cycle access for the victim-cache copy.
+func Proposed() Params {
+	return Params{
+		Banks:           16,
+		AccessCycles:    6,
+		PrechargeCycles: 3,
+		ColumnBytes:     512,
+		BuffersPerBank:  3,
+		CapacityBytes:   32 << 20, // 256 Mbit
+		ClockMHz:        200,
+	}
+}
+
+// Conventional returns the dual-banked main memory of the reference
+// system used to validate the GSPN model (Section 5.5): 2 independent
+// banks behind a second-level cache, with a 60 ns access typical for
+// external DRAM of the era (12 cycles at 200 MHz).
+func Conventional() Params {
+	return Params{
+		Banks:           2,
+		AccessCycles:    12,
+		PrechargeCycles: 6,
+		ColumnBytes:     32,
+		BuffersPerBank:  1,
+		CapacityBytes:   64 << 20,
+		ClockMHz:        200,
+	}
+}
+
+// AccessNanos returns the array access time in nanoseconds.
+func (p Params) AccessNanos() float64 {
+	return float64(p.AccessCycles) * 1000 / float64(p.ClockMHz)
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Banks < 1:
+		return fmt.Errorf("dram: need at least one bank, got %d", p.Banks)
+	case p.AccessCycles < 1:
+		return fmt.Errorf("dram: access time must be positive, got %d", p.AccessCycles)
+	case p.PrechargeCycles < 0:
+		return fmt.Errorf("dram: negative precharge time %d", p.PrechargeCycles)
+	case p.ColumnBytes < 1 || p.ColumnBytes&(p.ColumnBytes-1) != 0:
+		return fmt.Errorf("dram: column size must be a power of two, got %d", p.ColumnBytes)
+	default:
+		return nil
+	}
+}
+
+// BankOf maps an address to its bank under column interleaving: the
+// 512 B column index modulo the bank count, which is how the column
+// buffers form a 16-set cache.
+func (p Params) BankOf(addr uint64) int {
+	return int((addr / uint64(p.ColumnBytes)) % uint64(p.Banks))
+}
+
+// Device tracks per-bank timing state against a caller-supplied clock
+// (absolute cycle numbers).
+type Device struct {
+	Params
+	nextFree []uint64 // cycle at which each bank can accept a transaction
+	busy     []uint64 // total cycles each bank spent busy (access+precharge)
+	accesses []uint64 // array accesses per bank
+	lastTime uint64
+
+	refreshOn   bool
+	refresh     RefreshParams
+	lastRefresh []uint64
+	// Refreshes counts refresh operations performed.
+	Refreshes uint64
+}
+
+// New creates a Device. It panics on invalid Params, which indicate a
+// programming error in experiment setup.
+func New(p Params) *Device {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		Params:   p,
+		nextFree: make([]uint64, p.Banks),
+		busy:     make([]uint64, p.Banks),
+		accesses: make([]uint64, p.Banks),
+	}
+}
+
+// Access performs one array access to the bank holding addr, starting
+// no earlier than cycle now. It returns the cycle at which the column
+// buffer holds the data (i.e. when the access completes). The bank is
+// then unavailable until completion + precharge.
+func (d *Device) Access(addr uint64, now uint64) (done uint64) {
+	b := d.BankOf(addr)
+	d.applyRefresh(b, now)
+	start := now
+	if d.nextFree[b] > start {
+		start = d.nextFree[b]
+	}
+	done = start + uint64(d.AccessCycles)
+	d.nextFree[b] = done + uint64(d.PrechargeCycles)
+	d.busy[b] += uint64(d.AccessCycles + d.PrechargeCycles)
+	d.accesses[b]++
+	if done > d.lastTime {
+		d.lastTime = done
+	}
+	return done
+}
+
+// QueueDelay returns how many cycles an access to addr issued at cycle
+// now would wait before starting, without performing the access.
+func (d *Device) QueueDelay(addr uint64, now uint64) uint64 {
+	b := d.BankOf(addr)
+	if d.nextFree[b] > now {
+		return d.nextFree[b] - now
+	}
+	return 0
+}
+
+// Accesses returns the total number of array accesses performed.
+func (d *Device) Accesses() uint64 {
+	var n uint64
+	for _, a := range d.accesses {
+		n += a
+	}
+	return n
+}
+
+// Utilization returns each bank's busy fraction over the elapsed
+// horizon [0, horizon]. This is the quantity the paper reports in
+// Section 5.6 (e.g. "in gcc each of the 16 banks are busy only 1.2% of
+// the time, ... 9.6% with 2 banks").
+func (d *Device) Utilization(horizon uint64) []float64 {
+	u := make([]float64, d.Banks)
+	if horizon == 0 {
+		return u
+	}
+	for i, b := range d.busy {
+		u[i] = float64(b) / float64(horizon)
+	}
+	return u
+}
+
+// MeanUtilization averages Utilization over banks.
+func (d *Device) MeanUtilization(horizon uint64) float64 {
+	var sum float64
+	for _, u := range d.Utilization(horizon) {
+		sum += u
+	}
+	return sum / float64(d.Banks)
+}
+
+// Reset clears timing state but keeps the configuration.
+func (d *Device) Reset() {
+	for i := range d.nextFree {
+		d.nextFree[i] = 0
+		d.busy[i] = 0
+		d.accesses[i] = 0
+	}
+	for i := range d.lastRefresh {
+		d.lastRefresh[i] = 0
+	}
+	d.Refreshes = 0
+	d.lastTime = 0
+}
+
+// Refresh modelling. DRAM cells must be refreshed (the paper notes the
+// device is "a complete system" — refresh is generated on chip). The
+// standard requirement of the era is refreshing every row within 64 ms;
+// with row-granular refresh spread evenly, each bank performs one
+// refresh cycle every RefreshInterval cycles, during which it cannot
+// serve an access.
+
+// RefreshParams describes the refresh requirement.
+type RefreshParams struct {
+	PeriodMs int // full-array refresh period (64 ms standard)
+	Rows     int // rows per bank
+}
+
+// DefaultRefresh returns the era-standard 64 ms / 4096-row refresh.
+func DefaultRefresh() RefreshParams { return RefreshParams{PeriodMs: 64, Rows: 4096} }
+
+// IntervalCycles returns cycles between per-bank refresh operations at
+// the given clock.
+func (r RefreshParams) IntervalCycles(clockMHz int) uint64 {
+	totalCycles := uint64(r.PeriodMs) * uint64(clockMHz) * 1000
+	return totalCycles / uint64(r.Rows)
+}
+
+// OverheadFraction returns the fraction of each bank's time consumed
+// by refresh (busy cycles per interval).
+func (p Params) OverheadFraction(r RefreshParams) float64 {
+	interval := r.IntervalCycles(p.ClockMHz)
+	busy := uint64(p.AccessCycles + p.PrechargeCycles)
+	return float64(busy) / float64(interval)
+}
+
+// EnableRefresh makes the device steal one access+precharge window per
+// bank every interval; subsequent Access calls see the bank busy during
+// refresh windows.
+func (d *Device) EnableRefresh(r RefreshParams) {
+	d.refresh = r
+	d.refreshOn = true
+	d.lastRefresh = make([]uint64, d.Banks)
+}
+
+// applyRefresh advances bank b's refresh obligation up to cycle now.
+func (d *Device) applyRefresh(b int, now uint64) {
+	if !d.refreshOn {
+		return
+	}
+	interval := d.refresh.IntervalCycles(d.ClockMHz)
+	busy := uint64(d.AccessCycles + d.PrechargeCycles)
+	for d.lastRefresh[b]+interval <= now {
+		d.lastRefresh[b] += interval
+		// The refresh occupies the bank at its scheduled instant (or
+		// right after the current operation completes).
+		start := d.lastRefresh[b]
+		if d.nextFree[b] > start {
+			start = d.nextFree[b]
+		}
+		d.nextFree[b] = start + busy
+		d.busy[b] += busy
+		d.Refreshes++
+	}
+}

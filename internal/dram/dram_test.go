@@ -1,0 +1,179 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProposedParams(t *testing.T) {
+	p := Proposed()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Banks != 16 || p.ColumnBytes != 512 || p.BuffersPerBank != 3 {
+		t.Errorf("geometry: %+v", p)
+	}
+	if got := p.AccessNanos(); got != 30 {
+		t.Errorf("access time = %v ns, want 30 (6 cycles @ 200 MHz)", got)
+	}
+	if p.CapacityBytes != 32<<20 {
+		t.Errorf("capacity = %d, want 256 Mbit", p.CapacityBytes)
+	}
+}
+
+func TestBankOfInterleaving(t *testing.T) {
+	p := Proposed()
+	if p.BankOf(0) != 0 || p.BankOf(511) != 0 {
+		t.Error("first column must be bank 0")
+	}
+	if p.BankOf(512) != 1 {
+		t.Error("second column must be bank 1")
+	}
+	if p.BankOf(512*16) != 0 {
+		t.Error("column 16 must wrap to bank 0")
+	}
+}
+
+func TestAccessTiming(t *testing.T) {
+	d := New(Proposed())
+	done := d.Access(0, 100)
+	if done != 106 {
+		t.Errorf("first access done at %d, want 106", done)
+	}
+	// Same bank immediately after: waits for precharge (106+3 = 109).
+	done2 := d.Access(0, 106)
+	if done2 != 109+6 {
+		t.Errorf("back-to-back same-bank access done at %d, want 115", done2)
+	}
+	// Different bank: no wait.
+	done3 := d.Access(512, 106)
+	if done3 != 112 {
+		t.Errorf("other-bank access done at %d, want 112", done3)
+	}
+}
+
+func TestQueueDelay(t *testing.T) {
+	d := New(Proposed())
+	d.Access(0, 0) // bank 0 busy until 9 (6 access + 3 precharge)
+	if got := d.QueueDelay(0, 5); got != 4 {
+		t.Errorf("queue delay = %d, want 4", got)
+	}
+	if got := d.QueueDelay(512, 5); got != 0 {
+		t.Errorf("idle bank delay = %d, want 0", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := New(Proposed())
+	d.Access(0, 0)
+	u := d.Utilization(100)
+	if u[0] != 0.09 {
+		t.Errorf("bank 0 utilisation = %v, want 0.09 (9 busy cycles / 100)", u[0])
+	}
+	if u[1] != 0 {
+		t.Errorf("idle bank utilisation = %v", u[1])
+	}
+	if m := d.MeanUtilization(100); m != 0.09/16 {
+		t.Errorf("mean utilisation = %v", m)
+	}
+	if d.Accesses() != 1 {
+		t.Errorf("accesses = %d", d.Accesses())
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(Proposed())
+	d.Access(0, 0)
+	d.Reset()
+	if d.Accesses() != 0 || d.QueueDelay(0, 0) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{Banks: 0, AccessCycles: 1, ColumnBytes: 512},
+		{Banks: 1, AccessCycles: 0, ColumnBytes: 512},
+		{Banks: 1, AccessCycles: 1, PrechargeCycles: -1, ColumnBytes: 512},
+		{Banks: 1, AccessCycles: 1, ColumnBytes: 100}, // not power of two
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+// TestAccessesNeverOverlapPerBank (property): for any request stream,
+// a bank's accesses are serialised with precharge gaps.
+func TestAccessesNeverOverlapPerBank(t *testing.T) {
+	f := func(addrs []uint16, gaps []uint8) bool {
+		d := New(Proposed())
+		lastDone := make(map[int]uint64)
+		now := uint64(0)
+		for i, a := range addrs {
+			if i < len(gaps) {
+				now += uint64(gaps[i] % 8)
+			}
+			addr := uint64(a) * 64
+			b := d.BankOf(addr)
+			done := d.Access(addr, now)
+			if prev, ok := lastDone[b]; ok {
+				// Next access to the same bank must complete at least
+				// access+precharge after the previous completion.
+				if done < prev+uint64(d.AccessCycles) {
+					return false
+				}
+			}
+			if done < now+uint64(d.AccessCycles) {
+				return false
+			}
+			lastDone[b] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefreshOverheadTiny(t *testing.T) {
+	p := Proposed()
+	// 64 ms / 4096 rows at 200 MHz: one 9-cycle refresh every 3125
+	// cycles per bank — ~0.3% overhead, negligible as the paper's
+	// design assumes.
+	frac := p.OverheadFraction(DefaultRefresh())
+	if frac > 0.005 {
+		t.Errorf("refresh overhead = %.4f, want < 0.5%%", frac)
+	}
+	if got := DefaultRefresh().IntervalCycles(200); got != 3125 {
+		t.Errorf("refresh interval = %d cycles, want 3125", got)
+	}
+}
+
+func TestRefreshStealsBankTime(t *testing.T) {
+	d := New(Proposed())
+	d.EnableRefresh(DefaultRefresh())
+	// Jump past one refresh interval: the access must queue behind the
+	// pending refresh.
+	done := d.Access(0, 3125)
+	if done <= 3125+uint64(d.AccessCycles) {
+		t.Errorf("access at a refresh instant finished at %d; refresh not charged", done)
+	}
+	if d.Refreshes == 0 {
+		t.Error("no refreshes recorded")
+	}
+	// A later access far from any refresh instant proceeds normally.
+	d2 := New(Proposed())
+	d2.EnableRefresh(DefaultRefresh())
+	if done := d2.Access(0, 100); done != 106 {
+		t.Errorf("access away from refresh = %d, want 106", done)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	d := New(Proposed())
+	if done := d.Access(0, 1_000_000); done != 1_000_006 {
+		t.Errorf("refresh applied without EnableRefresh: done=%d", done)
+	}
+}

@@ -1,0 +1,220 @@
+// Package ecc implements the error-correction layout used by the
+// integrated processor/memory device of Saulsbury et al. (ISCA'96).
+//
+// Two schemes are provided:
+//
+//   - The industry-standard SECDED code over 64-bit words (8 check bits
+//     per word, "(72,64)" Hamming + overall parity), which the paper
+//     assumes for a plain DRAM: single-error correction, double-error
+//     detection, 12.5% storage overhead.
+//
+//   - The paper's directory-in-ECC scheme (Section 4.2, Figure 5): the
+//     correction granularity is relaxed from one error per 64 bits to
+//     one error per 128 bits. A 32-byte coherence block then needs only
+//     two (79,128)-style code groups instead of four (72,64) groups,
+//     freeing 14 bits per 32-byte block which hold the directory state
+//     and node pointer. This avoids any dedicated directory storage.
+//
+// The SECDED implementation is a real, bit-accurate code: Encode
+// computes check bits, Decode corrects any single-bit error (data or
+// check bit) and detects double-bit errors.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// CheckBits is the number of ECC bits protecting one 64-bit word in the
+// standard scheme: 7 Hamming bits + 1 overall parity.
+const CheckBits = 8
+
+// ErrDoubleError reports an uncorrectable (two-bit) error.
+var ErrDoubleError = errors.New("ecc: uncorrectable double-bit error")
+
+// hamming64 computes the 7 Hamming check bits for a 64-bit word.
+// Check bit i is the parity of all data bits whose (1-based, gapped)
+// code position has bit i set. We use the classic construction where
+// data bits occupy non-power-of-two positions 1..72.
+func hamming64(data uint64) uint8 {
+	var check uint8
+	pos := 1
+	for i := 0; i < 64; i++ {
+		// Skip power-of-two positions: they hold check bits.
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+		if data&(1<<uint(i)) != 0 {
+			check ^= uint8(pos & 0x7f)
+		}
+		pos++
+	}
+	return check
+}
+
+// overallParity returns the parity over the data word and 7 Hamming bits.
+func overallParity(data uint64, h uint8) uint8 {
+	p := bits.OnesCount64(data) + bits.OnesCount8(h&0x7f)
+	return uint8(p & 1)
+}
+
+// Encode returns the 8 check bits for a 64-bit word: bits 0..6 are the
+// Hamming syndrome bits, bit 7 is the overall parity (SECDED extension).
+func Encode(data uint64) uint8 {
+	h := hamming64(data)
+	return h | overallParity(data, h)<<7
+}
+
+// codePosition maps data-bit index (0..63) to its 1-based position in
+// the gapped Hamming codeword (power-of-two positions reserved).
+func codePosition(dataBit int) int {
+	pos := 1
+	for i := 0; ; i++ {
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+		if i == dataBit {
+			return pos
+		}
+		pos++
+	}
+}
+
+// dataBitAt inverts codePosition: given a gapped code position, it
+// returns the data-bit index, or -1 if the position holds a check bit.
+func dataBitAt(pos int) int {
+	if pos <= 0 || pos&(pos-1) == 0 {
+		return -1
+	}
+	i := 0
+	p := 1
+	for {
+		for p&(p-1) == 0 {
+			p++
+		}
+		if p == pos {
+			return i
+		}
+		p++
+		i++
+	}
+}
+
+// Decode checks a (data, check) pair. It returns the corrected data
+// word and the number of corrected bits (0 or 1). A double-bit error
+// returns ErrDoubleError; the returned data is then unspecified.
+func Decode(data uint64, check uint8) (corrected uint64, fixed int, err error) {
+	h := hamming64(data)
+	syndrome := (h ^ check) & 0x7f
+	// A correctly stored word has even parity over data + all 8 check
+	// bits (Encode sets bit 7 to make it so); odd total parity means an
+	// odd number of bit flips, i.e. a single-bit error somewhere.
+	total := bits.OnesCount64(data) + bits.OnesCount8(check)
+	parityErr := total%2 != 0
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return data, 0, nil
+	case syndrome == 0 && parityErr:
+		// The overall parity bit itself flipped; data is intact.
+		return data, 1, nil
+	case syndrome != 0 && parityErr:
+		// Single-bit error at code position `syndrome`.
+		db := dataBitAt(int(syndrome))
+		if db >= 0 {
+			return data ^ (1 << uint(db)), 1, nil
+		}
+		// Error in a Hamming check bit; data is intact.
+		return data, 1, nil
+	default: // syndrome != 0 && !parityErr
+		return data, 0, ErrDoubleError
+	}
+}
+
+// DirState is the coherence state held in the embedded directory entry.
+type DirState uint8
+
+// Directory states for the write-invalidate protocol. The encoding fits
+// the 2 bits the paper's 14-bit entry reserves for state.
+const (
+	DirInvalid DirState = iota // no remote copies; home has only copy
+	DirShared                  // one or more read-only remote copies
+	DirDirty                   // exactly one remote node holds it modified
+	DirGone                    // home copy invalid, data migrated (COMA support)
+)
+
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "Invalid"
+	case DirShared:
+		return "Shared"
+	case DirDirty:
+		return "Dirty"
+	case DirGone:
+		return "Gone"
+	default:
+		return fmt.Sprintf("DirState(%d)", uint8(s))
+	}
+}
+
+// DirEntry is the paper's 14-bit embedded directory entry for one
+// 32-byte coherence block: 2 bits of state plus a 12-bit field that is
+// either a node pointer (DirDirty) or a coarse sharing vector.
+type DirEntry struct {
+	State   DirState
+	Pointer uint16 // 12 significant bits
+}
+
+// DirEntryBits is the number of ECC bits freed per 32-byte block by
+// halving the correction granularity (Section 4.2).
+const DirEntryBits = 14
+
+// maxPointer is the largest value the 12-bit pointer field can hold.
+const maxPointer = 1<<12 - 1
+
+// Pack encodes the entry into its 14-bit representation.
+// It returns an error if the pointer overflows 12 bits.
+func (e DirEntry) Pack() (uint16, error) {
+	if e.Pointer > maxPointer {
+		return 0, fmt.Errorf("ecc: directory pointer %d exceeds 12 bits", e.Pointer)
+	}
+	if e.State > DirGone {
+		return 0, fmt.Errorf("ecc: invalid directory state %d", e.State)
+	}
+	return uint16(e.State)<<12 | e.Pointer, nil
+}
+
+// UnpackDirEntry decodes a 14-bit directory entry.
+func UnpackDirEntry(v uint16) DirEntry {
+	return DirEntry{State: DirState(v>>12) & 3, Pointer: v & maxPointer}
+}
+
+// Overhead describes ECC storage overhead for a protection scheme.
+type Overhead struct {
+	DataBits  int
+	CheckBits int
+}
+
+// Percent returns the storage overhead in percent.
+func (o Overhead) Percent() float64 {
+	return 100 * float64(o.CheckBits) / float64(o.DataBits)
+}
+
+// StandardOverhead is the 64-bit-word SECDED scheme: 8 check bits per
+// 64 data bits = 12.5% (the paper quotes "a 12% memory-size increase").
+func StandardOverhead() Overhead { return Overhead{DataBits: 64, CheckBits: 8} }
+
+// DirectoryOverhead is the relaxed 128-bit-granularity scheme for a
+// 32-byte block: 256 data bits protected by two 9-bit SECDED groups
+// (2×9=18 check bits), leaving 32-18 = 14 bits of the standard budget
+// for the directory entry. Total stored bits are unchanged.
+func DirectoryOverhead() Overhead { return Overhead{DataBits: 256, CheckBits: 18} }
+
+// FreedBitsPer32B returns the directory bits gained per 32-byte block
+// by switching from StandardOverhead to DirectoryOverhead.
+func FreedBitsPer32B() int {
+	std := 4 * CheckBits // four 64-bit words per 32B block
+	return std - DirectoryOverhead().CheckBits
+}

@@ -1,0 +1,166 @@
+package ecc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xdeadbeef, ^uint64(0), 1 << 63} {
+		c := Encode(v)
+		got, fixed, err := Decode(v, c)
+		if err != nil || fixed != 0 || got != v {
+			t.Errorf("Decode(%#x) = %#x, %d, %v", v, got, fixed, err)
+		}
+	}
+}
+
+// TestSingleBitCorrection: every single data-bit flip is corrected.
+func TestSingleBitCorrection(t *testing.T) {
+	v := uint64(0x0123456789abcdef)
+	c := Encode(v)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := v ^ (1 << uint(bit))
+		got, fixed, err := Decode(corrupted, c)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if fixed != 1 || got != v {
+			t.Errorf("bit %d: got %#x (fixed=%d), want %#x", bit, got, fixed, v)
+		}
+	}
+}
+
+// TestCheckBitCorrection: flips in the stored check bits are detected
+// as single-bit errors and the data is returned intact.
+func TestCheckBitCorrection(t *testing.T) {
+	v := uint64(0xfeedface)
+	c := Encode(v)
+	for bit := 0; bit < 8; bit++ {
+		got, fixed, err := Decode(v, c^(1<<uint(bit)))
+		if err != nil {
+			t.Fatalf("check bit %d: %v", bit, err)
+		}
+		if fixed != 1 || got != v {
+			t.Errorf("check bit %d: got %#x fixed=%d", bit, got, fixed)
+		}
+	}
+}
+
+// TestDoubleErrorDetected: any two data-bit flips are flagged.
+func TestDoubleErrorDetected(t *testing.T) {
+	v := uint64(0x5555aaaa12345678)
+	c := Encode(v)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := v ^ (1 << uint(b1)) ^ (1 << uint(b2))
+		_, _, err := Decode(corrupted, c)
+		if !errors.Is(err, ErrDoubleError) {
+			t.Fatalf("bits %d,%d: err = %v, want ErrDoubleError", b1, b2, err)
+		}
+	}
+}
+
+// TestRoundTripProperty (property): encode/corrupt-one-bit/decode
+// recovers the original word for random data.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(v uint64, bit uint8) bool {
+		c := Encode(v)
+		corrupted := v ^ (1 << uint(bit%64))
+		got, fixed, err := Decode(corrupted, c)
+		return err == nil && fixed == 1 && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirEntryPackUnpack(t *testing.T) {
+	for _, e := range []DirEntry{
+		{State: DirInvalid, Pointer: 0},
+		{State: DirShared, Pointer: 0xabc},
+		{State: DirDirty, Pointer: 4095},
+		{State: DirGone, Pointer: 1},
+	} {
+		v, err := e.Pack()
+		if err != nil {
+			t.Fatalf("Pack(%+v): %v", e, err)
+		}
+		if v >= 1<<DirEntryBits {
+			t.Errorf("Pack(%+v) = %#x exceeds 14 bits", e, v)
+		}
+		if got := UnpackDirEntry(v); got != e {
+			t.Errorf("round trip %+v -> %+v", e, got)
+		}
+	}
+}
+
+func TestDirEntryPackRejectsOverflow(t *testing.T) {
+	if _, err := (DirEntry{State: DirShared, Pointer: 1 << 12}).Pack(); err == nil {
+		t.Error("Pack accepted a 13-bit pointer")
+	}
+}
+
+func TestDirEntryPackUnpackProperty(t *testing.T) {
+	f := func(s uint8, ptr uint16) bool {
+		e := DirEntry{State: DirState(s % 4), Pointer: ptr & 0xfff}
+		v, err := e.Pack()
+		if err != nil {
+			return false
+		}
+		return UnpackDirEntry(v) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverheads pins the paper's storage-overhead arithmetic: 12.5%
+// for standard SECDED, and 14 freed bits per 32-byte block when the
+// correction granularity is halved (Section 4.2).
+func TestOverheads(t *testing.T) {
+	if got := StandardOverhead().Percent(); got != 12.5 {
+		t.Errorf("standard overhead = %v%%, want 12.5", got)
+	}
+	if got := FreedBitsPer32B(); got != DirEntryBits {
+		t.Errorf("freed bits = %d, want %d", got, DirEntryBits)
+	}
+}
+
+func TestDirStateString(t *testing.T) {
+	if DirShared.String() != "Shared" || DirState(9).String() == "" {
+		t.Error("DirState.String misbehaves")
+	}
+}
+
+// TestCodePositionInverse: codePosition and dataBitAt are inverse maps
+// over the gapped Hamming layout, and no data bit lands on a
+// power-of-two (check-bit) position.
+func TestCodePositionInverse(t *testing.T) {
+	seen := map[int]bool{}
+	for bit := 0; bit < 64; bit++ {
+		pos := codePosition(bit)
+		if pos&(pos-1) == 0 {
+			t.Fatalf("data bit %d assigned check position %d", bit, pos)
+		}
+		if seen[pos] {
+			t.Fatalf("position %d reused", pos)
+		}
+		seen[pos] = true
+		if got := dataBitAt(pos); got != bit {
+			t.Errorf("dataBitAt(codePosition(%d)) = %d", bit, got)
+		}
+	}
+	for _, pos := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		if dataBitAt(pos) != -1 {
+			t.Errorf("check position %d mapped to a data bit", pos)
+		}
+	}
+}

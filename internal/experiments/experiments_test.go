@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// Shared quick options + measurement cache for the whole package test.
+var (
+	topts = func() Options {
+		o := Quick()
+		o.Budget = 250_000
+		o.GSPNInstr = 15_000
+		o.Procs = []int{1, 4}
+		return o
+	}()
+	tms = NewMeasurementSet(topts)
+)
+
+func TestFig7EndToEnd(t *testing.T) {
+	r, err := Fig7(topts, tms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 19 {
+		t.Fatalf("%d rows, want 19", len(r.Rows))
+	}
+	tbl := r.Table().String()
+	for _, want := range []string{"Figure 7", "145.fpppp", "125.turb3d"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFig8EndToEnd(t *testing.T) {
+	r, err := Fig8(topts, tms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 19 {
+		t.Fatalf("%d rows, want 19", len(r.Rows))
+	}
+	// Spot-check the paper's central Figure 8 story on tomcatv.
+	for _, row := range r.Rows {
+		if row.Bench != "101.tomcatv" {
+			continue
+		}
+		prop := row.PropLoad + row.PropStore
+		vic := row.VicLoad + row.VicStore
+		if vic >= prop {
+			t.Errorf("tomcatv: victim %.2f%% should beat plain %.2f%%", vic, prop)
+		}
+		if prop <= row.ConvDM[16] {
+			t.Errorf("tomcatv: plain proposed %.2f%% should exceed conv DM16 %.2f%%",
+				prop, row.ConvDM[16])
+		}
+	}
+}
+
+func TestTables34EndToEnd(t *testing.T) {
+	t3, err := Table34(topts, tms, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Table34(topts, tms, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 18 || len(t4.Rows) != 18 {
+		t.Fatalf("row counts %d/%d, want 18", len(t3.Rows), len(t4.Rows))
+	}
+	byName := func(rs []CPIRow, n string) CPIRow {
+		for _, r := range rs {
+			if r.Bench == n {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", n)
+		return CPIRow{}
+	}
+	// Victim cache must slash the conflict benchmarks' memory CPI.
+	for _, n := range []string{"101.tomcatv", "102.swim", "103.su2cor", "146.wave5"} {
+		no := byName(t3.Rows, n)
+		yes := byName(t4.Rows, n)
+		if yes.MemCPI > no.MemCPI/2 {
+			t.Errorf("%s: victim mem CPI %.3f vs %.3f — want >= 2x reduction",
+				n, yes.MemCPI, no.MemCPI)
+		}
+	}
+	// Table 4 totals should land near the paper's (loose band: the
+	// workloads are stand-ins).
+	for _, r := range t4.Rows {
+		if r.PaperTotalCPI == 0 {
+			continue
+		}
+		ratio := r.TotalCPI / r.PaperTotalCPI
+		if ratio < 0.75 || ratio > 1.45 {
+			t.Errorf("%s: total CPI %.2f vs paper %.2f (ratio %.2f outside [0.75,1.45])",
+				r.Bench, r.TotalCPI, r.PaperTotalCPI, ratio)
+		}
+	}
+	// Rendering includes the Alpha column only for Table 4.
+	if strings.Contains(t3.Table().String(), "Alpha") {
+		t.Error("Table 3 must not include the Alpha column")
+	}
+	if !strings.Contains(t4.Table().String(), "Alpha") {
+		t.Error("Table 4 must include the Alpha column")
+	}
+}
+
+func TestFig11Fig12EndToEnd(t *testing.T) {
+	f11, err := Fig11(topts, tms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Fig12(topts, tms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPI grows with memory latency in both systems.
+	lo, ok1 := f11.CPIAt("126.gcc", 6, 6)
+	hi, ok2 := f11.CPIAt("126.gcc", 6, 60)
+	if !ok1 || !ok2 || hi <= lo {
+		t.Errorf("Fig11 gcc: CPI(60cy)=%.3f should exceed CPI(6cy)=%.3f", hi, lo)
+	}
+	lo12, ok1 := f12.CPIAt("126.gcc", 0, 2)
+	hi12, ok2 := f12.CPIAt("126.gcc", 0, 20)
+	if !ok1 || !ok2 || hi12 <= lo12 {
+		t.Errorf("Fig12 gcc: CPI(20cy)=%.3f should exceed CPI(2cy)=%.3f", hi12, lo12)
+	}
+	// Paper's headline: at the 30 ns (6-cycle) operating point the
+	// integrated CPI impact is modest (10-25% in the paper; allow a
+	// wider band for the stand-in workloads).
+	cpi6, _ := f12.CPIAt("126.gcc", 0, 6)
+	base := 1.01
+	if over := cpi6/base - 1; over > 0.4 {
+		t.Errorf("Fig12 gcc at 6 cycles: %.0f%% above base, want modest", 100*over)
+	}
+}
+
+func TestBanksEndToEnd(t *testing.T) {
+	r, err := Banks(topts, tms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPI differences across integrated bank counts are small (paper:
+	// below simulation noise), and per-bank utilisation rises as banks
+	// shrink.
+	var cpi4, cpi16, util4, util16 float64
+	for _, row := range r.Rows {
+		if !row.Integrated || row.Bench != "126.gcc" {
+			continue
+		}
+		switch row.Banks {
+		case 4:
+			cpi4, util4 = row.MemCPI, row.Utilization
+		case 16:
+			cpi16, util16 = row.MemCPI, row.Utilization
+		}
+	}
+	if diff := cpi4 - cpi16; diff < -0.05 || diff > 0.05 {
+		t.Errorf("gcc: bank-count CPI difference %.3f, want ~0 (paper: below noise)", diff)
+	}
+	if util4 <= util16 {
+		t.Errorf("per-bank utilisation must rise with fewer banks: %.4f vs %.4f", util4, util16)
+	}
+}
+
+func TestTable1EndToEnd(t *testing.T) {
+	r, err := Table1(topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	ss5, ss10 := r.Rows[0], r.Rows[1]
+	if ss5.SpecInt92 >= ss10.SpecInt92 {
+		t.Error("published SPEC'92 must favour the SS-10/61")
+	}
+	if ss5.ModelNsPerInst >= ss10.ModelNsPerInst {
+		t.Errorf("the SS-5 must win the >50MB workload: %.1f vs %.1f ns/instr",
+			ss5.ModelNsPerInst, ss10.ModelNsPerInst)
+	}
+	// The inversion factor should be in the neighbourhood of the
+	// paper's 44/32 = 1.38.
+	ratio := ss10.ModelNsPerInst / ss5.ModelNsPerInst
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Errorf("SS-5 advantage %.2fx, want ~1.4x", ratio)
+	}
+}
+
+func TestFig2EndToEnd(t *testing.T) {
+	r, err := Fig2(topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossover: SS-10 faster at 256 KB, SS-5 faster at 16 MB.
+	in5 := r.AvgNs["SS-5"][256<<10][512]
+	in10 := r.AvgNs["SS-10/61"][256<<10][512]
+	out5 := r.AvgNs["SS-5"][16<<20][512]
+	out10 := r.AvgNs["SS-10/61"][16<<20][512]
+	if in10 >= in5 {
+		t.Errorf("inside L2: SS-10 %.0f should beat SS-5 %.0f", in10, in5)
+	}
+	if out5 >= out10 {
+		t.Errorf("beyond L2: SS-5 %.0f should beat SS-10 %.0f", out5, out10)
+	}
+	// The prefetch footnote: SS-10's small-stride latency beyond the
+	// caches stays low.
+	if seq := r.AvgNs["SS-10/61"][16<<20][16]; seq > out10/2 {
+		t.Errorf("SS-10 prefetch not visible: stride16 %.0f vs stride512 %.0f", seq, out10)
+	}
+}
+
+func TestSplashFigures(t *testing.T) {
+	for fig := 13; fig <= 17; fig++ {
+		r, err := SplashFigure(topts, fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Points) != len(topts.Procs)*3 {
+			t.Errorf("fig %d: %d points", fig, len(r.Points))
+		}
+		if _, ok := r.Cycles(coherence.IntegratedVictim, 4); !ok {
+			t.Errorf("fig %d: missing victim config", fig)
+		}
+		if !strings.Contains(r.Table().String(), r.Bench) {
+			t.Errorf("fig %d: table missing benchmark name", fig)
+		}
+		if r.Bars(4).String() == "" {
+			t.Errorf("fig %d: empty bars", fig)
+		}
+	}
+	if _, err := SplashFigure(topts, 99); err == nil {
+		t.Error("SplashFigure accepted a bogus figure number")
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	out := Cost().String()
+	for _, want := range []string{"$800", "ECC", "mm2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasurementSetCaches(t *testing.T) {
+	ms := NewMeasurementSet(topts)
+	w := mustWorkload(t, "132.ijpeg")
+	m1, err := ms.Get(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ms.Get(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("MeasurementSet re-ran a cached workload")
+	}
+}
+
+func mustWorkload(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFabricExperiment(t *testing.T) {
+	tab, err := Fabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"bisection", "256", "200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fabric table missing %q", want)
+		}
+	}
+}
+
+func TestFig2IntegratedFlat(t *testing.T) {
+	r, err := Fig2(topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := r.AvgNs["Integrated"][64<<10][512]
+	big := r.AvgNs["Integrated"][16<<20][512]
+	if big > 31 {
+		t.Errorf("integrated latency at 16MB = %.1f ns, want <= ~30", big)
+	}
+	if big < small {
+		t.Errorf("integrated latency shrank with size: %.1f vs %.1f", big, small)
+	}
+	// And it beats both workstations beyond the caches.
+	if big >= r.AvgNs["SS-5"][16<<20][512] {
+		t.Error("integrated device should beat the SS-5 beyond the caches")
+	}
+}
+
+func TestGeoMeans(t *testing.T) {
+	r, err := Table34(topts, tms, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, ip, fm, fp := r.GeoMeans()
+	if im <= 0 || fm <= 0 {
+		t.Fatalf("degenerate geomeans: %v %v", im, fm)
+	}
+	// Measured means should track the paper's within ~20%.
+	if im/ip > 1.2 || ip/im > 1.2 {
+		t.Errorf("SPECint geomean %0.1f vs paper %0.1f", im, ip)
+	}
+	if fm/fp > 1.2 || fp/fm > 1.2 {
+		t.Errorf("SPECfp geomean %0.1f vs paper %0.1f", fm, fp)
+	}
+	if !strings.Contains(r.Table().String(), "geometric means") {
+		t.Error("geomeans missing from rendered table")
+	}
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cpumodel"
+	"repro/internal/memsys"
+	"repro/internal/paperref"
+	"repro/internal/report"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Figures 11 & 12: CPI sensitivity to cache/memory latency.
+// ---------------------------------------------------------------------
+
+// LatencyPoint is one (latency, CPI) sample for one application.
+type LatencyPoint struct {
+	Bench     string
+	SLCCycles float64 // conventional system (Figure 11) only
+	MemCycles float64
+	CPI       float64
+}
+
+// LatencyResult is a Figure 11 or Figure 12 data set.
+type LatencyResult struct {
+	Conventional bool
+	Points       []LatencyPoint
+}
+
+// fig1112Benches are the paper's representative high/low-CPI pair.
+var fig1112Benches = []string{"141.apsi", "126.gcc"}
+
+// Fig11 sweeps second-level-cache and memory latency for the
+// conventional reference CPU (141.apsi and 126.gcc, as in the paper).
+func Fig11(o Options, ms *MeasurementSet) (*LatencyResult, error) {
+	res := &LatencyResult{Conventional: true}
+	slcLats := []float64{2, 4, 6, 10, 14, 20}
+	memLats := []float64{6, 12, 20, 30, 40, 60}
+	for _, name := range fig1112Benches {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ms.Get(w)
+		if err != nil {
+			return nil, err
+		}
+		rates := m.Rates(false, false)
+		for _, slc := range slcLats {
+			for _, mem := range memLats {
+				cfg := cpumodel.Reference()
+				cfg.L2Cycles = slc
+				cfg.MemCycles = mem
+				cfg.PrechargeCycles = mem / 2
+				r, err := cpumodel.Evaluate(cfg, rates, o.GSPNInstr, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, LatencyPoint{
+					Bench: name, SLCCycles: slc, MemCycles: mem, CPI: r.TotalCPI,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig12 sweeps memory latency for the integrated CPU.
+func Fig12(o Options, ms *MeasurementSet) (*LatencyResult, error) {
+	res := &LatencyResult{}
+	memLats := []float64{2, 4, 6, 8, 10, 14, 20}
+	for _, name := range fig1112Benches {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ms.Get(w)
+		if err != nil {
+			return nil, err
+		}
+		rates := m.Rates(true, true)
+		for _, mem := range memLats {
+			cfg := cpumodel.Integrated()
+			cfg.MemCycles = mem
+			cfg.PrechargeCycles = mem / 2
+			r, err := cpumodel.Evaluate(cfg, rates, o.GSPNInstr, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, LatencyPoint{
+				Bench: name, MemCycles: mem, CPI: r.TotalCPI,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders a latency sweep.
+func (r *LatencyResult) Table() *report.Table {
+	if r.Conventional {
+		t := report.NewTable("Figure 11: conventional CPU CPI vs SLC & memory latency",
+			"benchmark", "SLC (cy)", "memory (cy)", "CPI")
+		for _, p := range r.Points {
+			t.Row(p.Bench, p.SLCCycles, p.MemCycles, fmt.Sprintf("%.3f", p.CPI))
+		}
+		t.Note("paper: memory latency alone can cost up to 2x over the raw CPI in the operating region")
+		return t
+	}
+	t := report.NewTable("Figure 12: integrated CPU CPI vs memory latency",
+		"benchmark", "memory (cy)", "CPI")
+	for _, p := range r.Points {
+		t.Row(p.Bench, p.MemCycles, fmt.Sprintf("%.3f", p.CPI))
+	}
+	t.Note("paper: at 30 ns (6 cycles) the CPI impact is 10-25 percent above the raw figure")
+	return t
+}
+
+// CPIAt returns the CPI for a bench at given latencies (0 = any).
+func (r *LatencyResult) CPIAt(bench string, slc, mem float64) (float64, bool) {
+	for _, p := range r.Points {
+		if p.Bench == bench && (slc == 0 || p.SLCCycles == slc) && p.MemCycles == mem {
+			return p.CPI, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Section 5.6: bank-count sensitivity.
+// ---------------------------------------------------------------------
+
+// BankRow is one (banks, benchmark) sample.
+type BankRow struct {
+	Bench       string
+	Integrated  bool
+	Banks       int
+	MemCPI      float64
+	MemCPICI    float64 // 95% half-width over the seed ensemble
+	Utilization float64
+}
+
+// BankResult is the Section 5.6 study.
+type BankResult struct{ Rows []BankRow }
+
+// Banks evaluates 4/8/16 banks for the integrated system and 2-8 for
+// the conventional reference, reporting CPI and bank utilisation.
+func Banks(o Options, ms *MeasurementSet) (*BankResult, error) {
+	res := &BankResult{}
+	benches := []string{"126.gcc", "102.swim"}
+	for _, name := range benches {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ms.Get(w)
+		if err != nil {
+			return nil, err
+		}
+		intRates := m.Rates(true, true)
+		refRates := m.Rates(false, false)
+		const seeds = 5
+		for _, b := range []int{4, 8, 16} {
+			cfg := cpumodel.Integrated()
+			cfg.Banks = b
+			e, err := cpumodel.EvaluateN(cfg, intRates, o.GSPNInstr, seeds)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BankRow{
+				Bench: name, Integrated: true, Banks: b,
+				MemCPI: e.MemCPI.Mean(), MemCPICI: e.MemCPI.CI95(),
+				Utilization: e.BankUtil.Mean(),
+			})
+		}
+		for _, b := range []int{2, 4, 8} {
+			cfg := cpumodel.Reference()
+			cfg.Banks = b
+			e, err := cpumodel.EvaluateN(cfg, refRates, o.GSPNInstr, seeds)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BankRow{
+				Bench: name, Integrated: false, Banks: b,
+				MemCPI: e.MemCPI.Mean(), MemCPICI: e.MemCPI.CI95(),
+				Utilization: e.BankUtil.Mean(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the bank study.
+func (r *BankResult) Table() *report.Table {
+	t := report.NewTable("Section 5.6: memory bank sensitivity (5-seed ensembles)",
+		"benchmark", "system", "banks", "mem CPI (±95%)", "bank utilisation %")
+	for _, row := range r.Rows {
+		sys := "conventional"
+		if row.Integrated {
+			sys = "integrated"
+		}
+		t.Row(row.Bench, sys, row.Banks,
+			fmt.Sprintf("%.3f ± %.3f", row.MemCPI, row.MemCPICI),
+			fmt.Sprintf("%.2f", 100*row.Utilization))
+	}
+	t.Note("paper: performance differences across bank counts are below simulation noise;")
+	t.Note("gcc keeps 16 banks ~1.2 percent busy, rising to ~9.6 percent with 2 banks")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Table 1 and Figure 2: the SS-5 versus SS-10/61 motivation study.
+// ---------------------------------------------------------------------
+
+// Table1Row is one machine's measured-vs-modelled comparison.
+type Table1Row struct {
+	Machine        string
+	SpecInt92      float64 // published
+	SpecFp92       float64 // published
+	PaperSynopsys  float64 // minutes, published
+	ModelNsPerInst float64 // our hierarchy model on the Synopsys stand-in
+	ModelRelative  float64 // run time relative to the fastest machine
+}
+
+// Table1Result is the Table 1 reproduction.
+type Table1Result struct{ Rows []Table1Row }
+
+// Table1 runs the Synopsys stand-in workload through the SS-5 and
+// SS-10/61 hierarchy models and compares with the published run times.
+func Table1(o Options) (*Table1Result, error) {
+	w, err := workload.ByName("synopsys")
+	if err != nil {
+		return nil, err
+	}
+	budget := o.Budget
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	machines := []*memsys.Hierarchy{memsys.SS5(), memsys.SS10()}
+	ests := make([]memsys.RunEstimate, len(machines))
+	for i, h := range machines {
+		est := &memsys.Estimator{H: h}
+		prog := w.Build()
+		if _, err := vm.RunProgram(prog, est, budget); err != nil {
+			return nil, err
+		}
+		ests[i] = est.Estimate()
+	}
+	best := ests[0].NsPerInstr
+	for _, e := range ests {
+		if e.NsPerInstr < best {
+			best = e.NsPerInstr
+		}
+	}
+	res := &Table1Result{}
+	for i, pub := range paperref.Table1 {
+		res.Rows = append(res.Rows, Table1Row{
+			Machine:        pub.Machine,
+			SpecInt92:      pub.SpecInt92,
+			SpecFp92:       pub.SpecFp92,
+			PaperSynopsys:  pub.SynopsysMins,
+			ModelNsPerInst: ests[i].NsPerInstr,
+			ModelRelative:  ests[i].NsPerInstr / best,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Table 1 reproduction.
+func (r *Table1Result) Table() *report.Table {
+	t := report.NewTable("Table 1: SS-5 vs SS-10/61 (published SPEC'92; modelled Synopsys run time)",
+		"machine", "SpecInt92*", "SpecFp92*", "Synopsys mins*", "model ns/instr", "model relative")
+	for _, row := range r.Rows {
+		t.Row(row.Machine, row.SpecInt92, row.SpecFp92, row.PaperSynopsys,
+			fmt.Sprintf("%.1f", row.ModelNsPerInst),
+			fmt.Sprintf("%.2f", row.ModelRelative))
+	}
+	t.Note("* published values from the paper; the model column is this reproduction's")
+	t.Note("hierarchy simulation of the >50 MB Synopsys stand-in (paper ratio: 44/32 = 1.38)")
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: latency vs array size and stride.
+// ---------------------------------------------------------------------
+
+// Fig2Result holds the latency surface for both machines.
+type Fig2Result struct {
+	Machines []string
+	Sizes    []uint64
+	Strides  []uint64
+	// AvgNs[machine][size][stride]
+	AvgNs map[string]map[uint64]map[uint64]float64
+}
+
+// Fig2 measures the stride/size latency surface on the SS-5 and
+// SS-10/61 models.
+func Fig2(o Options) (*Fig2Result, error) {
+	sizes := []uint64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	strides := []uint64{16, 128, 512, 4096}
+	res := &Fig2Result{
+		Machines: []string{"SS-5", "SS-10/61", "Integrated"},
+		Sizes:    sizes,
+		Strides:  strides,
+		AvgNs:    map[string]map[uint64]map[uint64]float64{},
+	}
+	// The integrated device is not part of the paper's measured
+	// Figure 2, but plotting it on the same axes is the whole argument:
+	// a flat ~30 ns line where both workstations climb.
+	for _, h := range []*memsys.Hierarchy{memsys.SS5(), memsys.SS10(), memsys.Integrated()} {
+		res.AvgNs[h.Name] = map[uint64]map[uint64]float64{}
+		for _, sz := range sizes {
+			res.AvgNs[h.Name][sz] = map[uint64]float64{}
+			for _, st := range strides {
+				if st >= sz {
+					continue
+				}
+				res.AvgNs[h.Name][sz][st] = h.Walk(sz, st).AvgNs
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the latency surface.
+func (r *Fig2Result) Table() *report.Table {
+	t := report.NewTable("Figure 2: average load latency (ns) vs array size and stride",
+		"machine", "array", "stride 16", "stride 128", "stride 512", "stride 4096")
+	for _, m := range r.Machines {
+		for _, sz := range r.Sizes {
+			row := []interface{}{m, sizeLabel(sz)}
+			for _, st := range r.Strides {
+				v, ok := r.AvgNs[m][sz][st]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.0f", v))
+			}
+			t.Row(row...)
+		}
+	}
+	t.Note("SS-10 wins inside its 1 MB L2 and at small linear strides (prefetch unit);")
+	t.Note("SS-5's integrated memory controller wins beyond the caches — the paper's Figure 2 crossover;")
+	t.Note("the Integrated row (not in the paper's figure) is the proposal: flat ~30 ns everywhere")
+	return t
+}
+
+func sizeLabel(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+}
+
+// Plot renders the latency sweep as an ASCII line plot (one series per
+// benchmark; Figure 11 plots against memory latency at the paper's
+// 6-cycle SLC, Figure 12 against memory latency).
+func (r *LatencyResult) Plot() *report.Series {
+	title := "Figure 12: integrated CPI vs memory latency"
+	if r.Conventional {
+		title = "Figure 11: conventional CPI vs memory latency (SLC = 6 cycles)"
+	}
+	s := report.NewSeries(title, "memory cycles", "CPI")
+	for _, p := range r.Points {
+		if r.Conventional && p.SLCCycles != 6 {
+			continue
+		}
+		s.Add(p.Bench, p.MemCycles, p.CPI)
+	}
+	return s
+}

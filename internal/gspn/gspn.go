@@ -1,0 +1,414 @@
+// Package gspn implements Generalized Stochastic Petri Nets evaluated by
+// Monte-Carlo discrete-event simulation, the modelling formalism the
+// paper uses for its CPI analysis (Section 5.5, citing Marsan & Conti).
+//
+// Supported net elements:
+//
+//   - places with integer markings,
+//   - immediate transitions (zero delay) with firing weights and
+//     priorities for conflict resolution,
+//   - deterministically timed transitions (fixed delay, e.g. a DRAM
+//     access taking exactly 6 cycles),
+//   - exponentially timed transitions (rate λ, e.g. transition T23 of
+//     Figure 10 modelling scoreboard stalls),
+//   - input, output, and inhibitor arcs with multiplicities.
+//
+// Timed transitions follow race semantics with resampling ("race with
+// restart"): a transition samples its firing time when it becomes
+// enabled and abandons it if disabled before firing. The nets used by
+// internal/cpumodel never disable an in-flight timed transition, so the
+// choice of memory policy does not affect their results; it is
+// documented here for completeness.
+//
+// Immediate transitions take priority over timed ones: whenever any
+// immediate transition is enabled, the marking is vanishing and one
+// enabled immediate transition (highest priority class first, then
+// weighted-random within the class) fires without advancing time.
+package gspn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PlaceID identifies a place within its Net.
+type PlaceID int
+
+// TransID identifies a transition within its Net.
+type TransID int
+
+// Kind is the transition timing class.
+type Kind uint8
+
+// Transition kinds.
+const (
+	Immediate Kind = iota
+	Deterministic
+	Exponential
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Immediate:
+		return "immediate"
+	case Deterministic:
+		return "deterministic"
+	case Exponential:
+		return "exponential"
+	default:
+		return "unknown"
+	}
+}
+
+type arc struct {
+	place PlaceID
+	mult  int
+}
+
+type place struct {
+	name    string
+	initial int
+}
+
+type transition struct {
+	name     string
+	kind     Kind
+	delay    float64 // Deterministic
+	rate     float64 // Exponential
+	weight   float64 // Immediate conflict resolution
+	priority int     // Immediate: higher fires first
+	in       []arc
+	out      []arc
+	inhibit  []arc
+}
+
+// Net is an immutable-after-build Petri net structure. Build the net
+// with Place/Immediate/Timed/Exponential and the arc methods, then
+// create Sims from it; one Net can back many concurrent Sims.
+type Net struct {
+	places []place
+	trans  []transition
+	sealed bool
+}
+
+// NewNet returns an empty net.
+func NewNet() *Net { return &Net{} }
+
+// Place adds a place with an initial marking and returns its id.
+func (n *Net) Place(name string, initial int) PlaceID {
+	if initial < 0 {
+		panic(fmt.Sprintf("gspn: place %s: negative initial marking", name))
+	}
+	n.places = append(n.places, place{name: name, initial: initial})
+	return PlaceID(len(n.places) - 1)
+}
+
+// Immediate adds an immediate transition. Weight resolves conflicts
+// among enabled immediate transitions of the same priority; priority
+// classes fire strictly highest-first.
+func (n *Net) Immediate(name string, weight float64, priority int) TransID {
+	if weight <= 0 {
+		panic(fmt.Sprintf("gspn: transition %s: weight must be positive", name))
+	}
+	n.trans = append(n.trans, transition{
+		name: name, kind: Immediate, weight: weight, priority: priority,
+	})
+	return TransID(len(n.trans) - 1)
+}
+
+// Timed adds a deterministically timed transition with a fixed delay.
+func (n *Net) Timed(name string, delay float64) TransID {
+	if delay <= 0 {
+		panic(fmt.Sprintf("gspn: transition %s: delay must be positive", name))
+	}
+	n.trans = append(n.trans, transition{name: name, kind: Deterministic, delay: delay})
+	return TransID(len(n.trans) - 1)
+}
+
+// Exponential adds an exponentially timed transition with the given
+// rate (mean delay 1/rate).
+func (n *Net) Exponential(name string, rate float64) TransID {
+	if rate <= 0 {
+		panic(fmt.Sprintf("gspn: transition %s: rate must be positive", name))
+	}
+	n.trans = append(n.trans, transition{name: name, kind: Exponential, rate: rate})
+	return TransID(len(n.trans) - 1)
+}
+
+// In adds an input arc: firing t consumes mult tokens from p.
+func (n *Net) In(t TransID, p PlaceID, mult int) {
+	n.checkArc(t, p, mult)
+	n.trans[t].in = append(n.trans[t].in, arc{p, mult})
+}
+
+// Out adds an output arc: firing t deposits mult tokens into p.
+func (n *Net) Out(t TransID, p PlaceID, mult int) {
+	n.checkArc(t, p, mult)
+	n.trans[t].out = append(n.trans[t].out, arc{p, mult})
+}
+
+// Inhibit adds an inhibitor arc: t is disabled while p holds >= mult
+// tokens.
+func (n *Net) Inhibit(t TransID, p PlaceID, mult int) {
+	n.checkArc(t, p, mult)
+	n.trans[t].inhibit = append(n.trans[t].inhibit, arc{p, mult})
+}
+
+func (n *Net) checkArc(t TransID, p PlaceID, mult int) {
+	if int(t) < 0 || int(t) >= len(n.trans) {
+		panic("gspn: arc references unknown transition")
+	}
+	if int(p) < 0 || int(p) >= len(n.places) {
+		panic("gspn: arc references unknown place")
+	}
+	if mult < 1 {
+		panic("gspn: arc multiplicity must be >= 1")
+	}
+}
+
+// PlaceName returns the place's name.
+func (n *Net) PlaceName(p PlaceID) string { return n.places[p].name }
+
+// TransName returns the transition's name.
+func (n *Net) TransName(t TransID) string { return n.trans[t].name }
+
+// NumPlaces returns the number of places.
+func (n *Net) NumPlaces() int { return len(n.places) }
+
+// NumTrans returns the number of transitions.
+func (n *Net) NumTrans() int { return len(n.trans) }
+
+// ErrLivelock is returned when immediate transitions fire more than the
+// livelock bound without reaching a tangible marking — an immediate
+// cycle in the net.
+var ErrLivelock = errors.New("gspn: immediate-transition livelock")
+
+// ErrDeadlock is returned by Step when no transition is enabled.
+var ErrDeadlock = errors.New("gspn: deadlock (no enabled transitions)")
+
+// maxImmediateChain bounds consecutive immediate firings per event.
+const maxImmediateChain = 1 << 16
+
+// Sim is one Monte-Carlo run of a Net.
+type Sim struct {
+	net     *Net
+	rng     *rand.Rand
+	marking []int
+	sched   []float64 // absolute firing time per timed transition; +Inf = unscheduled
+	now     float64
+
+	firings []int64
+	tokTime []float64 // ∫ marking dt per place
+	lastT   float64
+}
+
+// NewSim creates a simulation of the net with the given random seed.
+func NewSim(n *Net, seed int64) *Sim {
+	n.sealed = true
+	s := &Sim{
+		net:     n,
+		rng:     rand.New(rand.NewSource(seed)),
+		marking: make([]int, len(n.places)),
+		sched:   make([]float64, len(n.trans)),
+		firings: make([]int64, len(n.trans)),
+		tokTime: make([]float64, len(n.places)),
+	}
+	for i, p := range n.places {
+		s.marking[i] = p.initial
+	}
+	for i := range s.sched {
+		s.sched[i] = math.Inf(1)
+	}
+	s.reschedule()
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Marking returns the current token count of a place.
+func (s *Sim) Marking(p PlaceID) int { return s.marking[p] }
+
+// Firings returns how many times a transition has fired.
+func (s *Sim) Firings(t TransID) int64 { return s.firings[t] }
+
+// TimeAvgTokens returns the time-averaged token count of a place.
+func (s *Sim) TimeAvgTokens(p PlaceID) float64 {
+	if s.now == 0 {
+		return float64(s.marking[p])
+	}
+	return s.tokTime[p] / s.now
+}
+
+// enabled reports whether transition t may fire in the current marking.
+func (s *Sim) enabled(t TransID) bool {
+	tr := &s.net.trans[t]
+	for _, a := range tr.in {
+		if s.marking[a.place] < a.mult {
+			return false
+		}
+	}
+	for _, a := range tr.inhibit {
+		if s.marking[a.place] >= a.mult {
+			return false
+		}
+	}
+	return true
+}
+
+// fire consumes and produces tokens for transition t.
+func (s *Sim) fire(t TransID) {
+	tr := &s.net.trans[t]
+	for _, a := range tr.in {
+		s.marking[a.place] -= a.mult
+	}
+	for _, a := range tr.out {
+		s.marking[a.place] += a.mult
+	}
+	s.firings[t]++
+}
+
+// reschedule re-derives timed-transition schedules after a marking
+// change: newly enabled transitions sample a firing time, disabled ones
+// are cancelled.
+func (s *Sim) reschedule() {
+	for i := range s.net.trans {
+		tr := &s.net.trans[i]
+		if tr.kind == Immediate {
+			continue
+		}
+		en := s.enabled(TransID(i))
+		switch {
+		case en && math.IsInf(s.sched[i], 1):
+			s.sched[i] = s.now + s.sample(tr)
+		case !en && !math.IsInf(s.sched[i], 1):
+			s.sched[i] = math.Inf(1)
+		}
+	}
+}
+
+func (s *Sim) sample(tr *transition) float64 {
+	if tr.kind == Deterministic {
+		return tr.delay
+	}
+	return s.rng.ExpFloat64() / tr.rate
+}
+
+// settleImmediates fires enabled immediate transitions until none is
+// enabled (reaching a tangible marking).
+func (s *Sim) settleImmediates() error {
+	for iter := 0; ; iter++ {
+		if iter >= maxImmediateChain {
+			return ErrLivelock
+		}
+		// Find the highest priority class with an enabled transition.
+		bestPrio := math.MinInt64
+		var totalW float64
+		for i := range s.net.trans {
+			tr := &s.net.trans[i]
+			if tr.kind != Immediate || !s.enabled(TransID(i)) {
+				continue
+			}
+			if tr.priority > bestPrio {
+				bestPrio = tr.priority
+				totalW = 0
+			}
+			if tr.priority == bestPrio {
+				totalW += tr.weight
+			}
+		}
+		if totalW == 0 {
+			return nil // tangible marking
+		}
+		// Weighted-random selection within the class.
+		pick := s.rng.Float64() * totalW
+		for i := range s.net.trans {
+			tr := &s.net.trans[i]
+			if tr.kind != Immediate || tr.priority != bestPrio || !s.enabled(TransID(i)) {
+				continue
+			}
+			pick -= tr.weight
+			if pick <= 0 {
+				s.fire(TransID(i))
+				break
+			}
+		}
+		s.reschedule()
+	}
+}
+
+// accrue integrates token-time up to time t.
+func (s *Sim) accrue(t float64) {
+	dt := t - s.lastT
+	if dt <= 0 {
+		return
+	}
+	for i, m := range s.marking {
+		s.tokTime[i] += float64(m) * dt
+	}
+	s.lastT = t
+}
+
+// Step advances the simulation by one tangible event: it settles
+// immediate transitions, then fires the earliest scheduled timed
+// transition. It returns ErrDeadlock when nothing can fire.
+func (s *Sim) Step() error {
+	if err := s.settleImmediates(); err != nil {
+		return err
+	}
+	best := -1
+	bestT := math.Inf(1)
+	for i, at := range s.sched {
+		if at < bestT {
+			bestT = at
+			best = i
+		}
+	}
+	if best < 0 {
+		return ErrDeadlock
+	}
+	s.accrue(bestT)
+	s.now = bestT
+	s.sched[best] = math.Inf(1)
+	s.fire(TransID(best))
+	s.reschedule()
+	// Settle any immediates enabled by the firing so observers always
+	// see tangible markings.
+	return s.settleImmediates()
+}
+
+// RunUntilFirings advances the simulation until transition t has fired
+// n times (or an error occurs). It is the usual way CPI runs terminate:
+// "simulate until N instructions have issued".
+func (s *Sim) RunUntilFirings(t TransID, n int64) error {
+	for s.firings[t] < n {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilTime advances the simulation until the clock reaches at least
+// the given time.
+func (s *Sim) RunUntilTime(t float64) error {
+	for s.now < t {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Throughput returns firings of t per unit time.
+func (s *Sim) Throughput(t TransID) float64 {
+	if s.now == 0 {
+		return 0
+	}
+	return float64(s.firings[t]) / s.now
+}
+
+// TransKind returns the transition's timing class.
+func (n *Net) TransKind(t TransID) Kind { return n.trans[t].kind }

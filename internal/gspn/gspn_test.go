@@ -1,0 +1,343 @@
+package gspn
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestTimedLoopThroughput: a single token cycling through a
+// deterministic transition of delay d has throughput exactly 1/d.
+func TestTimedLoopThroughput(t *testing.T) {
+	n := NewNet()
+	p := n.Place("p", 1)
+	tr := n.Timed("t", 2.5)
+	n.In(tr, p, 1)
+	n.Out(tr, p, 1)
+
+	s := NewSim(n, 1)
+	if err := s.RunUntilFirings(tr, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Now(), 2500.0; got != want {
+		t.Errorf("time after 1000 firings = %v, want %v", got, want)
+	}
+	if got := s.Throughput(tr); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("throughput = %v, want 0.4", got)
+	}
+}
+
+// TestImmediateWeights: a weighted immediate conflict splits tokens in
+// proportion to transition weights.
+func TestImmediateWeights(t *testing.T) {
+	n := NewNet()
+	src := n.Place("src", 0)
+	a := n.Place("a", 0)
+	b := n.Place("b", 0)
+	feeder := n.Place("clockTok", 1)
+	tick := n.Timed("tick", 1)
+	n.In(tick, feeder, 1)
+	n.Out(tick, feeder, 1)
+	n.Out(tick, src, 1)
+
+	ta := n.Immediate("ta", 3, 0)
+	n.In(ta, src, 1)
+	n.Out(ta, a, 1)
+	tb := n.Immediate("tb", 1, 0)
+	n.In(tb, src, 1)
+	n.Out(tb, b, 1)
+
+	s := NewSim(n, 42)
+	const total = 20000
+	if err := s.RunUntilFirings(tick, total); err != nil {
+		t.Fatal(err)
+	}
+	fa := float64(s.Firings(ta))
+	frac := fa / float64(s.Firings(ta)+s.Firings(tb))
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("weighted split fraction = %v, want 0.75 ± 0.02", frac)
+	}
+}
+
+// TestImmediatePriority: a higher-priority immediate transition always
+// wins a conflict regardless of weight.
+func TestImmediatePriority(t *testing.T) {
+	n := NewNet()
+	src := n.Place("src", 5)
+	hi := n.Place("hi", 0)
+	lo := n.Place("lo", 0)
+	thi := n.Immediate("thi", 0.001, 5)
+	n.In(thi, src, 1)
+	n.Out(thi, hi, 1)
+	tlo := n.Immediate("tlo", 1000, 1)
+	n.In(tlo, src, 1)
+	n.Out(tlo, lo, 1)
+	// A timed transition keeps Step from declaring deadlock after the
+	// immediates settle.
+	idle := n.Place("idle", 1)
+	tt := n.Timed("tt", 1)
+	n.In(tt, idle, 1)
+	n.Out(tt, idle, 1)
+
+	s := NewSim(n, 7)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Marking(hi); got != 5 {
+		t.Errorf("high-priority transition fired %d times, want 5", got)
+	}
+	if got := s.Marking(lo); got != 0 {
+		t.Errorf("low-priority transition fired %d times, want 0", got)
+	}
+}
+
+// TestExponentialMean: mean inter-firing time of an exponential
+// transition approaches 1/rate.
+func TestExponentialMean(t *testing.T) {
+	n := NewNet()
+	p := n.Place("p", 1)
+	tr := n.Exponential("t", 4)
+	n.In(tr, p, 1)
+	n.Out(tr, p, 1)
+
+	s := NewSim(n, 99)
+	const fires = 50000
+	if err := s.RunUntilFirings(tr, fires); err != nil {
+		t.Fatal(err)
+	}
+	mean := s.Now() / fires
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("mean delay = %v, want 0.25 ± 0.01", mean)
+	}
+}
+
+// TestMM1QueueLength: exponential arrivals (λ) to a single exponential
+// server (μ) form an M/M/1 queue; mean number in system is ρ/(1-ρ).
+func TestMM1QueueLength(t *testing.T) {
+	const lambda, mu = 1.0, 2.0
+	n := NewNet()
+	arrTok := n.Place("arrTok", 1)
+	queue := n.Place("queue", 0)
+	arrive := n.Exponential("arrive", lambda)
+	n.In(arrive, arrTok, 1)
+	n.Out(arrive, arrTok, 1)
+	n.Out(arrive, queue, 1)
+	serve := n.Exponential("serve", mu)
+	n.In(serve, queue, 1)
+
+	s := NewSim(n, 12345)
+	if err := s.RunUntilTime(200000); err != nil {
+		t.Fatal(err)
+	}
+	// In this net "queue" counts jobs in system (the job in service
+	// keeps its token until service completes).
+	want := (lambda / mu) / (1 - lambda/mu) // = 1.0
+	got := s.TimeAvgTokens(queue)
+	if math.Abs(got-want) > 0.08 {
+		t.Errorf("M/M/1 mean jobs in system = %v, want %v ± 0.08", got, want)
+	}
+}
+
+// TestInhibitorArc: a transition with an inhibitor arc never fires
+// while the inhibiting place is marked.
+func TestInhibitorArc(t *testing.T) {
+	n := NewNet()
+	blocker := n.Place("blocker", 1)
+	p := n.Place("p", 1)
+	out := n.Place("out", 0)
+	tr := n.Timed("t", 1)
+	n.In(tr, p, 1)
+	n.Out(tr, out, 1)
+	n.Inhibit(tr, blocker, 1)
+	// A second transition drains the blocker at t=5.
+	drain := n.Timed("drain", 5)
+	n.In(drain, blocker, 1)
+
+	s := NewSim(n, 3)
+	if err := s.Step(); err != nil { // must be the drain at t=5
+		t.Fatal(err)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("first event at t=%v, want 5 (inhibited transition fired early)", s.Now())
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Marking(out) != 1 || s.Now() != 6 {
+		t.Errorf("after unblocking: out=%d at t=%v, want 1 at t=6", s.Marking(out), s.Now())
+	}
+}
+
+// TestDeadlock: a net with no enabled transitions reports ErrDeadlock.
+func TestDeadlock(t *testing.T) {
+	n := NewNet()
+	p := n.Place("p", 0)
+	tr := n.Timed("t", 1)
+	n.In(tr, p, 1)
+	s := NewSim(n, 1)
+	if err := s.Step(); !errors.Is(err, ErrDeadlock) {
+		t.Errorf("Step() = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestLivelock: two immediate transitions feeding each other loop
+// forever; the simulator must detect it rather than hang.
+func TestLivelock(t *testing.T) {
+	n := NewNet()
+	a := n.Place("a", 1)
+	b := n.Place("b", 0)
+	t1 := n.Immediate("t1", 1, 0)
+	n.In(t1, a, 1)
+	n.Out(t1, b, 1)
+	t2 := n.Immediate("t2", 1, 0)
+	n.In(t2, b, 1)
+	n.Out(t2, a, 1)
+	s := NewSim(n, 1)
+	if err := s.Step(); !errors.Is(err, ErrLivelock) {
+		t.Errorf("Step() = %v, want ErrLivelock", err)
+	}
+}
+
+// TestArcMultiplicity: a transition requiring 3 tokens fires only when
+// all three are present and consumes all of them.
+func TestArcMultiplicity(t *testing.T) {
+	n := NewNet()
+	src := n.Place("src", 0)
+	dst := n.Place("dst", 0)
+	feederTok := n.Place("ft", 1)
+	feed := n.Timed("feed", 1)
+	n.In(feed, feederTok, 1)
+	n.Out(feed, feederTok, 1)
+	n.Out(feed, src, 1)
+
+	gather := n.Immediate("gather", 1, 0)
+	n.In(gather, src, 3)
+	n.Out(gather, dst, 1)
+
+	s := NewSim(n, 1)
+	if err := s.RunUntilFirings(feed, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Marking(dst); got != 2 {
+		t.Errorf("dst = %d after 7 feeds, want 2", got)
+	}
+	if got := s.Marking(src); got != 1 {
+		t.Errorf("src leftover = %d after 7 feeds, want 1", got)
+	}
+}
+
+// TestDeterministicReproducibility: same seed, same trajectory.
+func TestDeterministicReproducibility(t *testing.T) {
+	build := func() (*Net, TransID) {
+		n := NewNet()
+		p := n.Place("p", 1)
+		q := n.Place("q", 0)
+		t1 := n.Exponential("t1", 1)
+		n.In(t1, p, 1)
+		n.Out(t1, q, 1)
+		t2 := n.Exponential("t2", 2)
+		n.In(t2, q, 1)
+		n.Out(t2, p, 1)
+		return n, t1
+	}
+	n1, tr1 := build()
+	n2, tr2 := build()
+	s1 := NewSim(n1, 777)
+	s2 := NewSim(n2, 777)
+	if err := s1.RunUntilFirings(tr1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RunUntilFirings(tr2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Now() != s2.Now() {
+		t.Errorf("same seed diverged: %v vs %v", s1.Now(), s2.Now())
+	}
+}
+
+// TestTimeAvgTokens: a place holding k tokens forever averages k.
+func TestTimeAvgTokens(t *testing.T) {
+	n := NewNet()
+	constP := n.Place("const", 3)
+	p := n.Place("p", 1)
+	tr := n.Timed("t", 1)
+	n.In(tr, p, 1)
+	n.Out(tr, p, 1)
+	s := NewSim(n, 1)
+	if err := s.RunUntilTime(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TimeAvgTokens(constP); got != 3 {
+		t.Errorf("TimeAvgTokens(const) = %v, want 3", got)
+	}
+}
+
+func TestNamesAndCounts(t *testing.T) {
+	n := NewNet()
+	p := n.Place("myplace", 1)
+	tr := n.Timed("mytrans", 2)
+	n.In(tr, p, 1)
+	n.Out(tr, p, 1)
+	if n.PlaceName(p) != "myplace" || n.TransName(tr) != "mytrans" {
+		t.Error("names lost")
+	}
+	if n.NumPlaces() != 1 || n.NumTrans() != 1 {
+		t.Error("counts wrong")
+	}
+	if n.TransKind(tr) != Deterministic {
+		t.Error("kind wrong")
+	}
+	if Immediate.String() != "immediate" || Exponential.String() != "exponential" ||
+		Kind(9).String() != "unknown" {
+		t.Error("kind strings")
+	}
+}
+
+func TestRunUntilTimePropagatesDeadlock(t *testing.T) {
+	n := NewNet()
+	p := n.Place("p", 1)
+	tr := n.Timed("t", 1)
+	n.In(tr, p, 1) // fires once, then deadlock
+	s := NewSim(n, 1)
+	if err := s.RunUntilTime(100); !errors.Is(err, ErrDeadlock) {
+		t.Errorf("RunUntilTime = %v, want ErrDeadlock", err)
+	}
+	if s.Throughput(tr) != 1 {
+		t.Errorf("throughput = %v, want 1 (one firing at t=1)", s.Throughput(tr))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewNet().Place("p", -1) },
+		func() { NewNet().Immediate("t", 0, 0) },
+		func() { NewNet().Timed("t", 0) },
+		func() { NewNet().Exponential("t", -1) },
+		func() {
+			n := NewNet()
+			p := n.Place("p", 0)
+			n.In(TransID(5), p, 1)
+		},
+		func() {
+			n := NewNet()
+			tr := n.Timed("t", 1)
+			n.In(tr, PlaceID(9), 1)
+		},
+		func() {
+			n := NewNet()
+			p := n.Place("p", 0)
+			tr := n.Timed("t", 1)
+			n.In(tr, p, 0)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

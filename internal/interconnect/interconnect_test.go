@@ -1,0 +1,143 @@
+package interconnect
+
+import "testing"
+
+func TestPeakBandwidth(t *testing.T) {
+	n := NewNode(4, Default())
+	// 4 × 2.5 Gbit/s × 0.8 / 8 = 1.0 GB/s usable payload.
+	if got := n.PeakBytesPerSec(); got != 1e9 {
+		t.Errorf("peak = %v B/s, want 1e9", got)
+	}
+}
+
+func TestRemoteReadUnder200ns(t *testing.T) {
+	n := NewNode(4, Default())
+	if rt := n.RemoteReadNs(32, 2); rt >= 200 {
+		t.Errorf("32 B remote read = %v ns, want < 200 (paper's claim)", rt)
+	}
+	if err := Check(n); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendSerialisesOnLink(t *testing.T) {
+	n := NewNode(1, Default())
+	d1 := n.Send(0, 1000, 0)
+	d2 := n.Send(0, 1000, 0)
+	if d2 <= d1 {
+		t.Errorf("second message on a busy link must finish later: %v vs %v", d2, d1)
+	}
+	if n.BytesSent != 2000 || n.Messages != 2 {
+		t.Errorf("accounting: %d bytes, %d messages", n.BytesSent, n.Messages)
+	}
+}
+
+func TestSendSpreadsAcrossLinks(t *testing.T) {
+	n := NewNode(4, Default())
+	d1 := n.Send(0, 1000, 0)
+	d2 := n.Send(0, 1000, 0)
+	if d2 != d1 {
+		t.Errorf("idle links should give equal delivery times: %v vs %v", d1, d2)
+	}
+}
+
+func TestHopsAddLatency(t *testing.T) {
+	n := NewNode(4, Default())
+	near := n.RemoteReadNs(32, 1)
+	far := n.RemoteReadNs(32, 5)
+	if far <= near {
+		t.Error("more hops must cost more")
+	}
+}
+
+func TestCheckFailsWeakFabric(t *testing.T) {
+	weak := NewNode(1, LinkParams{GbitPerSec: 0.1, Efficiency: 0.5, FlightNs: 500, RouteNs: 500})
+	if err := Check(weak); err == nil {
+		t.Error("Check must reject a fabric that violates the paper's claims")
+	}
+}
+
+func TestNewNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero links")
+		}
+	}()
+	NewNode(0, Default())
+}
+
+func TestRingHops(t *testing.T) {
+	f, err := NewFabric(Ring, 8, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[[2]int]int{
+		{0, 0}: 0, {0, 1}: 1, {0, 4}: 4, {0, 7}: 1, {2, 6}: 4,
+	}
+	for pair, want := range cases {
+		if got := f.Hops(pair[0], pair[1]); got != want {
+			t.Errorf("ring hops(%d,%d) = %d, want %d", pair[0], pair[1], got, want)
+		}
+	}
+	if f.Diameter() != 4 {
+		t.Errorf("ring-8 diameter = %d, want 4", f.Diameter())
+	}
+	if f.BisectionLinks() != 2 {
+		t.Errorf("ring bisection = %d links, want 2", f.BisectionLinks())
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	f, err := NewFabric(Torus2D, 16, Default()) // 4x4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cols != 4 {
+		t.Fatalf("cols = %d", f.Cols)
+	}
+	// Node 0 to node 15 (3,3): wrap both ways -> 1+1 = 2 hops.
+	if got := f.Hops(0, 15); got != 2 {
+		t.Errorf("torus hops(0,15) = %d, want 2", got)
+	}
+	// Node 0 to node 10 (2,2): 2+2 = 4 hops (the diameter).
+	if got := f.Hops(0, 10); got != 4 {
+		t.Errorf("torus hops(0,10) = %d, want 4", got)
+	}
+	if f.Diameter() != 4 {
+		t.Errorf("4x4 torus diameter = %d, want 4", f.Diameter())
+	}
+}
+
+func TestBisectionGrowsWithMachine(t *testing.T) {
+	rows, err := ScalingStudy(Torus2D, []int{4, 16, 64, 256}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BisectionGBs <= rows[i-1].BisectionGBs {
+			t.Errorf("bisection did not grow: %d nodes %.2f GB/s vs %d nodes %.2f GB/s",
+				rows[i].Nodes, rows[i].BisectionGBs, rows[i-1].Nodes, rows[i-1].BisectionGBs)
+		}
+	}
+	// The paper's sub-200 ns remote budget holds at board scale (<=64).
+	for _, r := range rows {
+		if r.Nodes <= 64 && !r.Within200ns {
+			t.Errorf("%d nodes: remote read %.0f ns exceeds 200 ns", r.Nodes, r.RemoteReadNs)
+		}
+	}
+}
+
+func TestFabricErrors(t *testing.T) {
+	if _, err := NewFabric(Ring, 1, Default()); err == nil {
+		t.Error("1-node fabric accepted")
+	}
+	if _, err := NewFabric(Torus2D, 7, Default()); err == nil {
+		t.Error("non-tiling torus accepted")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if Ring.String() == "" || Torus2D.String() == "" || Topology(9).String() == "" {
+		t.Error("topology strings")
+	}
+}

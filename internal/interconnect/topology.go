@@ -1,0 +1,187 @@
+package interconnect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology models the S-Connect fabric at the system level (Section 8,
+// Figure 18): processing elements plugged into a silicon-less
+// motherboard whose sockets wire a point-to-point network with four
+// links per node. The paper's scaling claim — "the system's
+// bi-sectional bandwidth increases as components are added" — and its
+// sub-200 ns remote-latency budget both depend on the topology, so
+// this model computes hop distances, average/worst-case remote
+// latencies, and bisection bandwidth as the machine grows.
+type Topology int
+
+// Supported topologies. With four links per node, the natural choices
+// are a 2-D torus (4 neighbours — the motherboard grid of Figure 18)
+// and a ring (2 links used, the degenerate small-system wiring).
+const (
+	Ring Topology = iota
+	Torus2D
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Ring:
+		return "ring"
+	case Torus2D:
+		return "2-D torus"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Fabric is a sized instance of a topology.
+type Fabric struct {
+	Topo  Topology
+	Nodes int
+	Link  LinkParams
+	// Cols is the torus width (≈ √Nodes, chosen automatically).
+	Cols int
+}
+
+// NewFabric lays out n nodes on the topology.
+func NewFabric(t Topology, n int, link LinkParams) (*Fabric, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("interconnect: a fabric needs at least 2 nodes")
+	}
+	f := &Fabric{Topo: t, Nodes: n, Link: link}
+	if t == Torus2D {
+		f.Cols = int(math.Round(math.Sqrt(float64(n))))
+		if f.Cols < 2 {
+			f.Cols = 2
+		}
+		if n%f.Cols != 0 {
+			return nil, fmt.Errorf("interconnect: %d nodes do not tile a %d-wide torus", n, f.Cols)
+		}
+	}
+	return f, nil
+}
+
+// Hops returns the minimal hop count between two nodes.
+func (f *Fabric) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	switch f.Topo {
+	case Ring:
+		d := abs(a - b)
+		if w := f.Nodes - d; w < d {
+			d = w
+		}
+		return d
+	case Torus2D:
+		rows := f.Nodes / f.Cols
+		ax, ay := a%f.Cols, a/f.Cols
+		bx, by := b%f.Cols, b/f.Cols
+		dx := abs(ax - bx)
+		if w := f.Cols - dx; w < dx {
+			dx = w
+		}
+		dy := abs(ay - by)
+		if w := rows - dy; w < dy {
+			dy = w
+		}
+		return dx + dy
+	default:
+		panic("interconnect: unknown topology")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MeanHops returns the average hop count over all distinct node pairs.
+func (f *Fabric) MeanHops() float64 {
+	var sum, n int
+	for a := 0; a < f.Nodes; a++ {
+		for b := a + 1; b < f.Nodes; b++ {
+			sum += f.Hops(a, b)
+			n++
+		}
+	}
+	return float64(sum) / float64(n)
+}
+
+// Diameter returns the worst-case hop count.
+func (f *Fabric) Diameter() int {
+	max := 0
+	for b := 1; b < f.Nodes; b++ {
+		if h := f.Hops(0, b); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// BisectionLinks counts links crossing the best balanced cut.
+func (f *Fabric) BisectionLinks() int {
+	switch f.Topo {
+	case Ring:
+		return 2
+	case Torus2D:
+		rows := f.Nodes / f.Cols
+		// Cut between two row-halves: 2×Cols wrap+cross links; or
+		// between column halves: 2×rows. Bisection = the smaller cut.
+		byRows := 2 * f.Cols
+		byCols := 2 * rows
+		if byCols < byRows {
+			return byCols
+		}
+		return byRows
+	default:
+		panic("interconnect: unknown topology")
+	}
+}
+
+// BisectionBytesPerSec returns the usable bisection bandwidth.
+func (f *Fabric) BisectionBytesPerSec() float64 {
+	return float64(f.BisectionLinks()) * f.Link.GbitPerSec * 1e9 * f.Link.Efficiency / 8
+}
+
+// RemoteLatencyNs estimates the average remote read latency for a
+// 32-byte coherence block across the fabric, using the per-node
+// striped-link model of RemoteReadNs.
+func (f *Fabric) RemoteLatencyNs() float64 {
+	n := NewNode(4, f.Link)
+	return n.RemoteReadNs(32, int(math.Ceil(f.MeanHops())))
+}
+
+// ScalingRow is one machine size in a scaling study.
+type ScalingRow struct {
+	Nodes        int
+	MeanHops     float64
+	Diameter     int
+	BisectionGBs float64
+	RemoteReadNs float64
+	Within200ns  bool
+}
+
+// ScalingStudy evaluates the fabric across machine sizes (the paper's
+// Lego-block growth story: plug in more PEs, bandwidth grows).
+func ScalingStudy(t Topology, sizes []int, link LinkParams) ([]ScalingRow, error) {
+	rows := make([]ScalingRow, 0, len(sizes))
+	for _, n := range sizes {
+		f, err := NewFabric(t, n, link)
+		if err != nil {
+			return nil, err
+		}
+		lat := f.RemoteLatencyNs()
+		rows = append(rows, ScalingRow{
+			Nodes:        n,
+			MeanHops:     f.MeanHops(),
+			Diameter:     f.Diameter(),
+			BisectionGBs: f.BisectionBytesPerSec() / 1e9,
+			RemoteReadNs: lat,
+			Within200ns:  lat < 200,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,417 @@
+// Package mpsim is an execution-driven multiprocessor simulator in the
+// style of the CacheMire Test Bench used by the paper (Section 6.1):
+// the parallel workloads really execute (as Go code, one goroutine per
+// simulated processor), and every shared-memory reference is routed
+// through an architecture timing model that delays the issuing
+// processor by the appropriate latency.
+//
+// Timing model: each processor has a virtual clock. A central
+// coordinator admits memory operations in global virtual-time order
+// (a conservative discrete-event scheme): it waits until every
+// runnable processor has posted its next operation, then services the
+// operation with the smallest timestamp (ties broken by processor id),
+// which makes simulations deterministic regardless of goroutine
+// scheduling. Locks and barriers are modelled in the coordinator with
+// round-trip costs on the same scale as the paper's remote operations.
+//
+// Concurrency invariant: although each simulated processor is a real
+// goroutine, exactly one workload body executes between coordinator
+// handoffs — every other body is blocked waiting for its operation
+// reply, and the coordinator will not grant a second reply until the
+// running body posts its next operation. Workload code may therefore
+// update shared host-side data (matrices, particle arrays) without
+// additional locking; all updates are totally ordered through the
+// coordinator's channels.
+package mpsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Memory is the architecture timing model (implemented by
+// internal/coherence.Machine).
+type Memory interface {
+	// Access services one reference and returns its latency in cycles.
+	Access(proc int, addr uint64, write bool) uint64
+}
+
+// TimedMemory is an optional extension: models that track global time
+// (e.g. protocol-engine occupancy) receive the issuing processor's
+// virtual clock. When a Memory also implements TimedMemory, the
+// simulator calls AccessAt instead of Access.
+type TimedMemory interface {
+	AccessAt(proc int, addr uint64, write bool, now uint64) uint64
+}
+
+// SyncCosts parameterises synchronisation latencies.
+type SyncCosts struct {
+	LockAcquire uint64 // uncontended lock acquire round trip
+	LockHandoff uint64 // handoff to the next waiter
+	Barrier     uint64 // barrier release after the last arrival
+}
+
+// DefaultSyncCosts uses the paper's remote round-trip scale (Table 6).
+func DefaultSyncCosts() SyncCosts {
+	return SyncCosts{LockAcquire: 80, LockHandoff: 80, Barrier: 80}
+}
+
+// Proc is a simulated processor handle passed to workload bodies.
+// All methods must be called only from the body's own goroutine.
+type Proc struct {
+	ID int
+	N  int // total processors
+
+	sim     *sim
+	pending uint64 // accumulated compute cycles not yet posted
+}
+
+// Read issues a shared-memory load.
+func (p *Proc) Read(addr uint64) {
+	p.op(opAccess, addr, false, 0)
+}
+
+// Write issues a shared-memory store.
+func (p *Proc) Write(addr uint64) {
+	p.op(opAccess, addr, true, 0)
+}
+
+// Compute advances the processor's clock by n cycles of local work.
+// It is cheap (no synchronisation) — the time is folded into the next
+// memory or synchronisation operation.
+func (p *Proc) Compute(n uint64) { p.pending += n }
+
+// Lock acquires the numbered lock (FIFO, with handoff latency).
+func (p *Proc) Lock(id int) { p.op(opLock, 0, false, id) }
+
+// Unlock releases the numbered lock.
+func (p *Proc) Unlock(id int) { p.op(opUnlock, 0, false, id) }
+
+// Barrier joins the global barrier across all processors.
+func (p *Proc) Barrier() { p.op(opBarrier, 0, false, 0) }
+
+type opKind uint8
+
+const (
+	opAccess opKind = iota
+	opLock
+	opUnlock
+	opBarrier
+	opDone
+)
+
+type request struct {
+	proc    int
+	kind    opKind
+	addr    uint64
+	write   bool
+	lockID  int
+	compute uint64
+	reply   chan struct{}
+}
+
+func (p *Proc) op(kind opKind, addr uint64, write bool, lockID int) {
+	r := request{
+		proc: p.ID, kind: kind, addr: addr, write: write,
+		lockID: lockID, compute: p.pending,
+		reply: make(chan struct{}),
+	}
+	p.pending = 0
+	p.sim.reqCh <- r
+	<-r.reply
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Procs      int
+	Cycles     uint64   // completion time (max processor clock)
+	ProcCycles []uint64 // per-processor finish times
+	Accesses   int64
+	LockOps    int64
+	Barriers   int64
+}
+
+// Imbalance returns the load imbalance: max finish time over mean
+// finish time (1.0 = perfectly balanced). A high value means barriers
+// and partitioning, not the memory system, bound the run.
+func (r Result) Imbalance() float64 {
+	if len(r.ProcCycles) == 0 || r.Cycles == 0 {
+		return 1
+	}
+	var sum uint64
+	for _, t := range r.ProcCycles {
+		sum += t
+	}
+	mean := float64(sum) / float64(len(r.ProcCycles))
+	if mean == 0 {
+		return 1
+	}
+	return float64(r.Cycles) / mean
+}
+
+// sim is the coordinator state.
+type sim struct {
+	mem   Memory
+	costs SyncCosts
+	n     int
+
+	reqCh chan request
+
+	time    []uint64
+	posted  []*request
+	blocked []bool // waiting on a lock or barrier (no posted op expected)
+	done    []bool
+
+	locks map[int]*lockState
+	bar   *barrierState
+
+	accesses int64
+	lockOps  int64
+	barriers int64
+}
+
+type lockState struct {
+	held     bool
+	owner    int
+	lastFree uint64 // virtual time the lock was last released
+	waiters  []*request
+}
+
+type barrierState struct {
+	waiting []*request
+	arrived int
+	maxTime uint64
+}
+
+// Run executes body on n simulated processors over the memory model.
+// It returns when every body has finished.
+func Run(n int, mem Memory, costs SyncCosts, body func(p *Proc)) Result {
+	if n < 1 {
+		panic("mpsim: need at least one processor")
+	}
+	s := &sim{
+		mem:     mem,
+		costs:   costs,
+		n:       n,
+		reqCh:   make(chan request, n),
+		time:    make([]uint64, n),
+		posted:  make([]*request, n),
+		blocked: make([]bool, n),
+		done:    make([]bool, n),
+		locks:   make(map[int]*lockState),
+		bar:     &barrierState{},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p := &Proc{ID: i, N: n, sim: s}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(p)
+			p.op(opDone, 0, false, 0)
+		}()
+	}
+	s.loop()
+	wg.Wait()
+
+	res := Result{
+		Procs:      n,
+		ProcCycles: s.time,
+		Accesses:   s.accesses,
+		LockOps:    s.lockOps,
+		Barriers:   s.barriers,
+	}
+	for _, t := range s.time {
+		if t > res.Cycles {
+			res.Cycles = t
+		}
+	}
+	return res
+}
+
+// loop is the coordinator: gather one posted op per runnable proc,
+// serve the earliest, repeat until all procs are done.
+func (s *sim) loop() {
+	for {
+		if s.allDone() {
+			return
+		}
+		// Collect until every runnable, non-done proc has posted.
+		for s.missingPosts() {
+			r := <-s.reqCh
+			rr := r
+			s.time[r.proc] += r.compute
+			s.posted[r.proc] = &rr
+		}
+		idx := s.earliest()
+		if idx < 0 {
+			// Everyone alive is blocked: this is a workload deadlock
+			// (e.g. a barrier not joined by all procs). Fail loudly.
+			panic("mpsim: deadlock — all processors blocked")
+		}
+		r := s.posted[idx]
+		s.posted[idx] = nil
+		s.serve(r)
+	}
+}
+
+func (s *sim) allDone() bool {
+	for _, d := range s.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sim) missingPosts() bool {
+	for i := 0; i < s.n; i++ {
+		if !s.done[i] && !s.blocked[i] && s.posted[i] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sim) earliest() int {
+	best := -1
+	for i := 0; i < s.n; i++ {
+		if s.posted[i] == nil {
+			continue
+		}
+		if best < 0 || s.time[i] < s.time[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *sim) serve(r *request) {
+	switch r.kind {
+	case opAccess:
+		var lat uint64
+		if tm, ok := s.mem.(TimedMemory); ok {
+			lat = tm.AccessAt(r.proc, r.addr, r.write, s.time[r.proc])
+		} else {
+			lat = s.mem.Access(r.proc, r.addr, r.write)
+		}
+		s.time[r.proc] += lat
+		s.accesses++
+		close(r.reply)
+
+	case opLock:
+		s.lockOps++
+		l := s.locks[r.lockID]
+		if l == nil {
+			l = &lockState{}
+			s.locks[r.lockID] = l
+		}
+		if !l.held {
+			l.held = true
+			l.owner = r.proc
+			t := s.time[r.proc]
+			if l.lastFree > t {
+				t = l.lastFree
+			}
+			s.time[r.proc] = t + s.costs.LockAcquire
+			close(r.reply)
+			return
+		}
+		// Block until handoff.
+		s.blocked[r.proc] = true
+		l.waiters = append(l.waiters, r)
+
+	case opUnlock:
+		s.lockOps++
+		l := s.locks[r.lockID]
+		if l == nil || !l.held || l.owner != r.proc {
+			panic(fmt.Sprintf("mpsim: proc %d unlocking lock %d it does not hold",
+				r.proc, r.lockID))
+		}
+		now := s.time[r.proc]
+		l.lastFree = now
+		if len(l.waiters) > 0 {
+			w := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			l.owner = w.proc
+			s.blocked[w.proc] = false
+			t := s.time[w.proc]
+			if now > t {
+				t = now
+			}
+			s.time[w.proc] = t + s.costs.LockHandoff
+			close(w.reply)
+		} else {
+			l.held = false
+		}
+		close(r.reply)
+
+	case opBarrier:
+		s.barriers++
+		b := s.bar
+		b.waiting = append(b.waiting, r)
+		b.arrived++
+		if s.time[r.proc] > b.maxTime {
+			b.maxTime = s.time[r.proc]
+		}
+		if b.arrived < s.alive() {
+			s.blocked[r.proc] = true
+			return
+		}
+		s.releaseBarrier()
+
+	case opDone:
+		s.done[r.proc] = true
+		close(r.reply)
+		// A processor finishing can complete a barrier among the
+		// remaining ones.
+		if s.bar.arrived > 0 && s.bar.arrived >= s.alive() {
+			s.releaseBarrier()
+		}
+	}
+}
+
+// releaseBarrier releases all current barrier waiters at the barrier
+// completion time.
+func (s *sim) releaseBarrier() {
+	release := s.bar.maxTime + s.costs.Barrier
+	for _, w := range s.bar.waiting {
+		s.time[w.proc] = release
+		s.blocked[w.proc] = false
+		close(w.reply)
+	}
+	s.bar = &barrierState{}
+}
+
+// alive counts processors that have not finished.
+func (s *sim) alive() int {
+	n := 0
+	for _, d := range s.done {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Speedup computes relative speedups from a series of Results ordered
+// by processor count, normalised to the first entry.
+func Speedup(results []Result) []float64 {
+	out := make([]float64, len(results))
+	if len(results) == 0 || results[0].Cycles == 0 {
+		return out
+	}
+	base := float64(results[0].Cycles)
+	for i, r := range results {
+		if r.Cycles > 0 {
+			out[i] = base / float64(r.Cycles)
+		}
+	}
+	return out
+}
+
+// SortByProcs sorts results by processor count (helper for reports).
+func SortByProcs(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Procs < rs[j].Procs })
+}

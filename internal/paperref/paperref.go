@@ -1,0 +1,101 @@
+// Package paperref holds numbers published in Saulsbury, Pong &
+// Nowatzyk (ISCA'96) that this reproduction uses either as model inputs
+// or as comparison targets. Keeping them in one package makes every
+// paper-sourced constant auditable: nothing here is measured by our
+// simulators.
+package paperref
+
+// Table1 reproduces the paper's Table 1: measured SPEC'92 ratings and
+// Synopsys run times of the SparcStation 5 and SparcStation 10/61.
+type Table1Row struct {
+	Machine      string
+	SpecInt92    float64
+	SpecFp92     float64
+	SynopsysMins float64
+}
+
+// Table1 rows (SS-5 outperforms the SS-10/61 on the >50 MB workload
+// despite the lower SPEC rating — the paper's motivating observation).
+var Table1 = []Table1Row{
+	{Machine: "SS-5", SpecInt92: 64, SpecFp92: 54.6, SynopsysMins: 32},
+	{Machine: "SS-10/61", SpecInt92: 89, SpecFp92: 103, SynopsysMins: 44},
+}
+
+// CPI holds one application's CPI decomposition from Tables 3 and 4.
+type CPI struct {
+	// BaseCPI is the functional-unit ("cpu") component measured by
+	// Sun's internal MicroSparc-II simulator with a zero-latency memory
+	// system. The paper adds its GSPN-derived memory component to this
+	// value; we use it the same way (DESIGN.md substitution 2).
+	BaseCPI float64
+	// MemNoVictim is the paper's memory CPI component without the
+	// victim cache (Table 3).
+	MemNoVictim float64
+	// TotalVictim is the paper's total CPI with the victim cache
+	// (Table 4); the memory component is TotalVictim - BaseCPI.
+	TotalVictim float64
+	// SpecRatioNoVictim and SpecRatioVictim are the estimated SPEC'95
+	// ratios from Tables 3 and 4.
+	SpecRatioNoVictim float64
+	SpecRatioVictim   float64
+	// Alpha21164 is the measured SPEC'95 ratio of the DEC 8200 5/300
+	// (Table 4, right column): published hardware data.
+	Alpha21164 float64
+	// Float marks SPEC'95 floating-point benchmarks.
+	Float bool
+}
+
+// Tables34 indexes the paper's Tables 3 and 4 by benchmark name.
+var Tables34 = map[string]CPI{
+	"099.go":       {BaseCPI: 1.01, MemNoVictim: 0.48, TotalVictim: 1.30, SpecRatioNoVictim: 6.0, SpecRatioVictim: 6.9, Alpha21164: 10.1},
+	"124.m88ksim":  {BaseCPI: 1.01, MemNoVictim: 0.12, TotalVictim: 1.10, SpecRatioNoVictim: 4.3, SpecRatioVictim: 4.5, Alpha21164: 7.1},
+	"126.gcc":      {BaseCPI: 1.01, MemNoVictim: 0.14, TotalVictim: 1.13, SpecRatioNoVictim: 7.6, SpecRatioVictim: 7.8, Alpha21164: 6.7},
+	"129.compress": {BaseCPI: 1.03, MemNoVictim: 0.17, TotalVictim: 1.16, SpecRatioNoVictim: 6.4, SpecRatioVictim: 6.6, Alpha21164: 6.8},
+	"130.li":       {BaseCPI: 1.02, MemNoVictim: 0.06, TotalVictim: 1.07, SpecRatioNoVictim: 6.7, SpecRatioVictim: 6.8, Alpha21164: 6.8},
+	"132.ijpeg":    {BaseCPI: 1.00, MemNoVictim: 0.01, TotalVictim: 1.01, SpecRatioNoVictim: 5.8, SpecRatioVictim: 5.8, Alpha21164: 6.9},
+	"134.perl":     {BaseCPI: 1.04, MemNoVictim: 0.21, TotalVictim: 1.21, SpecRatioNoVictim: 6.0, SpecRatioVictim: 6.2, Alpha21164: 8.1},
+	"147.vortex":   {BaseCPI: 1.02, MemNoVictim: 0.27, TotalVictim: 1.17, SpecRatioNoVictim: 6.4, SpecRatioVictim: 7.1, Alpha21164: 7.4},
+
+	"101.tomcatv": {Float: true, BaseCPI: 1.15, MemNoVictim: 0.50, TotalVictim: 1.23, SpecRatioNoVictim: 8.2, SpecRatioVictim: 11.1, Alpha21164: 14.0},
+	"102.swim":    {Float: true, BaseCPI: 1.56, MemNoVictim: 0.97, TotalVictim: 1.65, SpecRatioNoVictim: 12.7, SpecRatioVictim: 19.5, Alpha21164: 18.3},
+	"103.su2cor":  {Float: true, BaseCPI: 1.41, MemNoVictim: 0.44, TotalVictim: 1.51, SpecRatioNoVictim: 3.2, SpecRatioVictim: 3.9, Alpha21164: 7.2},
+	"104.hydro2d": {Float: true, BaseCPI: 1.74, MemNoVictim: 0.04, TotalVictim: 1.75, SpecRatioNoVictim: 4.2, SpecRatioVictim: 4.2, Alpha21164: 7.8},
+	"107.mgrid":   {Float: true, BaseCPI: 1.20, MemNoVictim: 0.01, TotalVictim: 1.21, SpecRatioNoVictim: 3.2, SpecRatioVictim: 3.2, Alpha21164: 9.1},
+	"110.applu":   {Float: true, BaseCPI: 1.53, MemNoVictim: 0.01, TotalVictim: 1.54, SpecRatioNoVictim: 3.9, SpecRatioVictim: 4.0, Alpha21164: 6.5},
+	"125.turb3d":  {Float: true, BaseCPI: 1.16, MemNoVictim: 0.05, TotalVictim: 1.20, SpecRatioNoVictim: 4.3, SpecRatioVictim: 4.3, Alpha21164: 10.8},
+	"141.apsi":    {Float: true, BaseCPI: 1.70, MemNoVictim: 0.08, TotalVictim: 1.76, SpecRatioNoVictim: 5.0, SpecRatioVictim: 5.1, Alpha21164: 14.5},
+	"145.fpppp":   {Float: true, BaseCPI: 1.34, MemNoVictim: 0.08, TotalVictim: 1.42, SpecRatioNoVictim: 7.5, SpecRatioVictim: 7.5, Alpha21164: 21.3},
+	"146.wave5":   {Float: true, BaseCPI: 1.31, MemNoVictim: 0.25, TotalVictim: 1.41, SpecRatioNoVictim: 7.6, SpecRatioVictim: 8.4, Alpha21164: 16.8},
+}
+
+// SpecCal returns the calibration constant mapping a total CPI to an
+// estimated SPEC'95 ratio for the benchmark: ratio = SpecCal/CPI. It is
+// derived from Table 4 (ratio × CPI), encapsulating the per-benchmark
+// reference time and instruction count we cannot measure ourselves.
+func SpecCal(bench string) float64 {
+	r, ok := Tables34[bench]
+	if !ok {
+		return 0
+	}
+	return r.SpecRatioVictim * r.TotalVictim
+}
+
+// Table6 gives the multiprocessor latencies (in 200 MHz processor
+// cycles) used by the paper's execution-driven simulations.
+var Table6 = struct {
+	ColumnBufferHit int // proposed: hit in column buffer
+	VictimHit       int // proposed: hit in victim cache
+	LocalMemory     int // proposed: access local memory & INC
+	InvalidationRT  int // both: invalidation round trip
+	RemoteLoad      int // both: load remote data
+	FLCHit          int // reference CC-NUMA: first-level cache hit
+	SLCHit          int // reference CC-NUMA: second-level cache hit
+}{
+	ColumnBufferHit: 1,
+	VictimHit:       1,
+	LocalMemory:     6,
+	InvalidationRT:  80,
+	RemoteLoad:      80,
+	FLCHit:          1,
+	SLCHit:          6,
+}

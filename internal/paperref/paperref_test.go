@@ -1,0 +1,70 @@
+package paperref
+
+import "testing"
+
+func TestTables34Complete(t *testing.T) {
+	if len(Tables34) != 18 {
+		t.Fatalf("%d benchmarks, want 18 (Tables 3/4)", len(Tables34))
+	}
+	intCount, fpCount := 0, 0
+	for name, r := range Tables34 {
+		if r.Float {
+			fpCount++
+		} else {
+			intCount++
+		}
+		if r.BaseCPI < 1 {
+			t.Errorf("%s: base CPI %v < 1", name, r.BaseCPI)
+		}
+		// Table 4 totals include the base plus a non-negative memory
+		// component.
+		if r.TotalVictim < r.BaseCPI {
+			t.Errorf("%s: victim total %v below base %v", name, r.TotalVictim, r.BaseCPI)
+		}
+		// The victim cache never makes the memory component larger.
+		if r.TotalVictim-r.BaseCPI > r.MemNoVictim+1e-9 {
+			t.Errorf("%s: victim memory CPI exceeds no-victim", name)
+		}
+		if r.SpecRatioVictim < r.SpecRatioNoVictim {
+			t.Errorf("%s: victim ratio below no-victim ratio", name)
+		}
+		if r.Alpha21164 <= 0 {
+			t.Errorf("%s: missing Alpha column", name)
+		}
+	}
+	if intCount != 8 || fpCount != 10 {
+		t.Errorf("%d integer / %d fp benchmarks, want 8/10", intCount, fpCount)
+	}
+}
+
+func TestSpecCal(t *testing.T) {
+	// go: 6.9 × 1.30 = 8.97.
+	if got := SpecCal("099.go"); got < 8.96 || got > 8.98 {
+		t.Errorf("SpecCal(go) = %v, want 8.97", got)
+	}
+	if SpecCal("nonesuch") != 0 {
+		t.Error("SpecCal of unknown benchmark must be 0")
+	}
+}
+
+func TestTable1Published(t *testing.T) {
+	if len(Table1) != 2 {
+		t.Fatal("Table 1 must have two machines")
+	}
+	ss5, ss10 := Table1[0], Table1[1]
+	if ss5.Machine != "SS-5" || ss10.Machine != "SS-10/61" {
+		t.Error("machine names wrong")
+	}
+	// The paper's central observation encoded in the data.
+	if !(ss5.SpecInt92 < ss10.SpecInt92 && ss5.SynopsysMins < ss10.SynopsysMins) {
+		t.Error("Table 1 inversion not present in published data")
+	}
+}
+
+func TestTable6Latencies(t *testing.T) {
+	l := Table6
+	if l.ColumnBufferHit != 1 || l.VictimHit != 1 || l.LocalMemory != 6 ||
+		l.InvalidationRT != 80 || l.RemoteLoad != 80 || l.FLCHit != 1 || l.SLCHit != 6 {
+		t.Errorf("Table 6 latencies wrong: %+v", l)
+	}
+}

@@ -1,0 +1,162 @@
+// Package report renders the reproduction's tables and figures as
+// fixed-width text. "Figures" (the paper's bar charts and line plots)
+// are rendered as numeric series tables plus ASCII bars, which keeps
+// the output diffable and dependency-free.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends a row; values are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote printed under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+			return fmt.Sprintf("%.1f", v)
+		}
+		return fmt.Sprintf("%.4g", v)
+	case float32:
+		return formatCell(float64(v))
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", max(len(t.Title), total)))
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i]+2, cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart for one group of values
+// (a "figure" in text form). Values are scaled to maxWidth characters.
+type Bars struct {
+	Title    string
+	MaxWidth int
+	items    []barItem
+}
+
+type barItem struct {
+	label string
+	value float64
+	unit  string
+}
+
+// NewBars creates a bar chart.
+func NewBars(title string) *Bars { return &Bars{Title: title, MaxWidth: 48} }
+
+// Add appends one bar.
+func (b *Bars) Add(label string, value float64, unit string) {
+	b.items = append(b.items, barItem{label, value, unit})
+}
+
+// Render writes the chart to w.
+func (b *Bars) Render(w io.Writer) {
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", b.Title, strings.Repeat("-", len(b.Title)))
+	}
+	var maxV float64
+	maxL := 0
+	for _, it := range b.items {
+		if it.value > maxV {
+			maxV = it.value
+		}
+		if len(it.label) > maxL {
+			maxL = len(it.label)
+		}
+	}
+	for _, it := range b.items {
+		n := 0
+		if maxV > 0 {
+			n = int(it.value / maxV * float64(b.MaxWidth))
+		}
+		fmt.Fprintf(w, "%-*s %8.4g %-4s |%s\n",
+			maxL+1, it.label, it.value, it.unit, strings.Repeat("#", n))
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (b *Bars) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

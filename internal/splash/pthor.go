@@ -1,0 +1,123 @@
+package splash
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mpsim"
+)
+
+// runPthor models the SPLASH distributed-time logic simulator on a
+// synthesized RISC-like circuit: gates are clustered (most wires are
+// short, within a cluster of 32 gates) with a fraction of long wires
+// (cross-partition fanin, e.g. buses and control). Gates are
+// partitioned contiguously; each timestep a processor re-evaluates its
+// gates whose inputs changed, reading the (possibly remote) input gate
+// values and publishing its own — the irregular, fine-grained sharing
+// that makes PTHOR hard to speed up.
+func runPthor(nproc int, m *coherence.Machine, sz Size) mpsim.Result {
+	nGates := sz.PthorGates
+	steps := sz.PthorSteps
+
+	type gate struct {
+		in0, in1 int
+		kind     int // 0 NAND, 1 NOR, 2 XOR
+		val      bool
+	}
+	gates := make([]gate, nGates)
+	rng := uint64(0x2545F4914F6CDD1D)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	const cluster = 32
+	for i := range gates {
+		// Mostly local fanin; ~12% long wires.
+		base := i / cluster * cluster
+		in0 := base + next(cluster)
+		in1 := base + next(cluster)
+		if next(8) == 0 {
+			in0 = next(nGates)
+		}
+		if next(8) == 0 {
+			in1 = next(nGates)
+		}
+		gates[i] = gate{in0: in0, in1: in1, kind: next(3), val: next(2) == 0}
+	}
+	// Gate 0 is the clock: it toggles every step and drives activity.
+	gates[0].val = false
+
+	// Gate records are 64 B (state + value + fanin list): two blocks.
+	gateArr := array{base: pthorBase, elem: 64}
+	// Published output values live in their own word array so readers
+	// touch a single block per input.
+	valArr := array{base: pthorBase + auxOffset, elem: 8}
+
+	perProc := (nGates + nproc - 1) / nproc
+	for pid := 0; pid < nproc; pid++ {
+		lo := pid * perProc
+		if lo >= nGates {
+			break
+		}
+		m.Place(gateArr.at(lo), uint64(perProc)*64, pid)
+		m.Place(valArr.at(lo), uint64(perProc)*8, pid)
+	}
+
+	changed := make([]bool, nGates)
+	nextChanged := make([]bool, nGates)
+	for i := range changed {
+		changed[i] = true // evaluate everything in the first step
+	}
+
+	eval := func(g *gate, a, b bool) bool {
+		switch g.kind {
+		case 0:
+			return !(a && b)
+		case 1:
+			return !(a || b)
+		default:
+			return a != b
+		}
+	}
+
+	body := func(p *mpsim.Proc) {
+		lo := p.ID * perProc
+		hi := min(lo+perProc, nGates)
+		for s := 0; s < steps; s++ {
+			if p.ID == 0 {
+				// Toggle the clock gate.
+				gateArr.readElems(p, 0, 1)
+				gates[0].val = !gates[0].val
+				valArr.writeElems(p, 0, 1)
+				nextChanged[0] = true
+			}
+			for i := lo; i < hi; i++ {
+				g := &gates[i]
+				if !changed[g.in0] && !changed[g.in1] {
+					continue // inputs quiet: no evaluation this step
+				}
+				gateArr.readElems(p, i, 1)    // own gate record
+				valArr.readElems(p, g.in0, 1) // input values
+				valArr.readElems(p, g.in1, 1)
+				nv := eval(g, gates[g.in0].val, gates[g.in1].val)
+				p.Compute(4)
+				if nv != g.val {
+					g.val = nv
+					nextChanged[i] = true
+					valArr.writeElems(p, i, 1)  // publish
+					gateArr.writeElems(p, i, 1) // update state
+				}
+			}
+			p.Barrier()
+			// Swap activity lists (proc 0, then everyone syncs).
+			if p.ID == 0 {
+				copy(changed, nextChanged)
+				for i := range nextChanged {
+					nextChanged[i] = false
+				}
+			}
+			p.Barrier()
+		}
+	}
+	return mpsim.Run(nproc, m, mpsim.DefaultSyncCosts(), body)
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", r.Mean())
+	}
+	// Known sample stddev of this classic data set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(r.StdDev()-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", r.StdDev(), want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.CI95() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	r.Add(3)
+	if r.Mean() != 3 || r.Variance() != 0 {
+		t.Error("single sample stats wrong")
+	}
+}
+
+// TestRunningMatchesDirect (property): Welford result equals the
+// two-pass computation.
+func TestRunningMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var r Running
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			r.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		variance := m2 / float64(n-1)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Events: 3, Total: 12}
+	if c.Rate() != 0.25 || c.Percent() != 25 {
+		t.Errorf("rate/percent = %v/%v", c.Rate(), c.Percent())
+	}
+	var zero Counter
+	if zero.Rate() != 0 {
+		t.Error("zero counter rate must be 0")
+	}
+	c.Add(Counter{Events: 1, Total: 4})
+	if c.Events != 4 || c.Total != 16 {
+		t.Errorf("after Add: %+v", c)
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 11 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if m := h.Mean(); math.Abs(m-50) > 1 {
+		t.Errorf("mean = %v, want ~50", m)
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(1e9)
+	if h.Buckets[0] < 1 || h.Buckets[9] < 1 {
+		t.Error("out-of-range values not clamped")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Errorf("geomean of non-positives = %v, want 0", g)
+	}
+	if g := GeoMean([]float64{5, -1, 0}); g != 5 {
+		t.Errorf("geomean skipping non-positives = %v, want 5", g)
+	}
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format: Shade-style capture of a reference stream so that
+// expensive workload executions can be replayed into many cache
+// configurations without re-running the program.
+//
+// The encoding is a compact delta format. Each record starts with one
+// opcode byte:
+//
+//	bits 7-6  kind (0 ifetch, 1 load, 2 store)
+//	bits 5-4  size code (0=1, 1=2, 2=4, 3=8 bytes)
+//	bits 3-0  address mode:
+//	   0      delta == +size of previous same-kind access (no payload)
+//	   1..8   n-byte little-endian signed delta from the previous
+//	          same-kind address
+//	   15     8-byte absolute address
+//
+// Sequential streams (the common case: instruction fetches, array
+// sweeps) cost one byte per reference.
+
+// fileMagic identifies a trace file.
+var fileMagic = [8]byte{'i', 'r', 'a', 'm', 't', 'r', 'c', '1'}
+
+// ErrBadTrace reports a corrupt or truncated trace file.
+var ErrBadTrace = errors.New("trace: corrupt trace file")
+
+var sizeCodes = map[uint8]uint8{1: 0, 2: 1, 4: 2, 8: 3}
+var sizeFromCode = [4]uint8{1, 2, 4, 8}
+
+// Writer encodes a reference stream to an io.Writer. It implements
+// Sink, so it can be used directly as a VM sink or inside a Tee.
+type Writer struct {
+	w    *bufio.Writer
+	last [3]uint64 // previous address per kind
+	n    int64
+	err  error
+}
+
+// NewWriter creates a trace writer and emits the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Ref implements Sink. Encoding errors are sticky and surfaced by
+// Close (a Sink cannot return errors per reference).
+func (t *Writer) Ref(r Ref) {
+	if t.err != nil {
+		return
+	}
+	sc, ok := sizeCodes[r.Size]
+	if !ok {
+		t.err = fmt.Errorf("trace: bad reference size %d", r.Size)
+		return
+	}
+	k := uint8(r.Kind)
+	if k > 2 {
+		t.err = fmt.Errorf("trace: bad reference kind %d", r.Kind)
+		return
+	}
+	head := k<<6 | sc<<4
+	prev := t.last[k]
+	t.last[k] = r.Addr
+	t.n++
+
+	delta := int64(r.Addr) - int64(prev)
+	if t.n > 1 && delta == int64(r.Size) {
+		t.err = t.w.WriteByte(head | 0)
+		return
+	}
+	// Choose the shortest signed delta encoding.
+	if nb := signedLen(delta); t.n > 1 && nb <= 8 {
+		if err := t.w.WriteByte(head | uint8(nb)); err != nil {
+			t.err = err
+			return
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(delta))
+		_, t.err = t.w.Write(buf[:nb])
+		return
+	}
+	if err := t.w.WriteByte(head | 15); err != nil {
+		t.err = err
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], r.Addr)
+	_, t.err = t.w.Write(buf[:])
+}
+
+// signedLen returns the minimum bytes needed to hold v as a
+// little-endian signed integer (1..9; 9 means "use absolute").
+func signedLen(v int64) int {
+	for n := 1; n <= 8; n++ {
+		shift := uint(8 * n)
+		if shift >= 64 {
+			return 8
+		}
+		min := -(int64(1) << (shift - 1))
+		max := int64(1)<<(shift-1) - 1
+		if v >= min && v <= max {
+			return n
+		}
+	}
+	return 9
+}
+
+// Count returns the number of references written.
+func (t *Writer) Count() int64 { return t.n }
+
+// Close flushes the stream and returns any deferred encoding error.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace file.
+type Reader struct {
+	r    *bufio.Reader
+	last [3]uint64
+	n    int64
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBadTrace)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next reference, or io.EOF at the end of the trace.
+func (t *Reader) Next() (Ref, error) {
+	head, err := t.r.ReadByte()
+	if err == io.EOF {
+		return Ref{}, io.EOF
+	}
+	if err != nil {
+		return Ref{}, err
+	}
+	kind := Kind(head >> 6)
+	if kind > Store {
+		return Ref{}, fmt.Errorf("%w: kind %d", ErrBadTrace, kind)
+	}
+	size := sizeFromCode[(head>>4)&3]
+	mode := head & 0x0f
+
+	var addr uint64
+	switch {
+	case mode == 0:
+		addr = t.last[kind] + uint64(size)
+	case mode >= 1 && mode <= 8:
+		var buf [8]byte
+		if _, err := io.ReadFull(t.r, buf[:mode]); err != nil {
+			return Ref{}, fmt.Errorf("%w: truncated delta", ErrBadTrace)
+		}
+		// Sign-extend the little-endian delta.
+		v := int64(binary.LittleEndian.Uint64(buf[:]))
+		shift := uint(64 - 8*mode)
+		v = v << shift >> shift
+		addr = uint64(int64(t.last[kind]) + v)
+	case mode == 15:
+		var buf [8]byte
+		if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+			return Ref{}, fmt.Errorf("%w: truncated address", ErrBadTrace)
+		}
+		addr = binary.LittleEndian.Uint64(buf[:])
+	default:
+		return Ref{}, fmt.Errorf("%w: address mode %d", ErrBadTrace, mode)
+	}
+	t.last[kind] = addr
+	t.n++
+	return Ref{Kind: kind, Addr: addr, Size: size}, nil
+}
+
+// Replay streams the remaining references into a sink, returning the
+// count delivered.
+func (t *Reader) Replay(sink Sink) (int64, error) {
+	var n int64
+	for {
+		r, err := t.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Ref(r)
+		n++
+	}
+}

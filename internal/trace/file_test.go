@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		w.Ref(r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Ref
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ref)
+	}
+	return out
+}
+
+func TestFileRoundTripBasic(t *testing.T) {
+	refs := []Ref{
+		{Ifetch, 0x1000, 4},
+		{Ifetch, 0x1004, 4}, // sequential: 1-byte record
+		{Load, 0x200000, 8},
+		{Store, 0x200000, 8},
+		{Ifetch, 0x1008, 4},
+		{Load, 0x200008, 8},
+		{Load, 0x100, 4}, // big negative delta
+	}
+	got := roundTrip(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("got %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d: %+v != %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	// A purely sequential ifetch stream must cost ~1 byte/ref.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Ref(Ref{Ifetch, 0x1000 + uint64(i)*4, 4})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 10000+8+16 {
+		t.Errorf("sequential trace = %d bytes for 10000 refs, want ~1 byte/ref", buf.Len())
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]Ref, int(n)+1)
+		for i := range refs {
+			kind := Kind(rng.Intn(3))
+			size := []uint8{1, 2, 4, 8}[rng.Intn(4)]
+			var addr uint64
+			switch rng.Intn(3) {
+			case 0:
+				addr = uint64(rng.Intn(1 << 20))
+			case 1:
+				addr = uint64(rng.Uint64()) // anywhere in 64-bit space
+			default:
+				if i > 0 {
+					addr = refs[i-1].Addr + uint64(size)
+				}
+			}
+			refs[i] = Ref{Kind: kind, Addr: addr, Size: size}
+		}
+		got := roundTrip(t, refs)
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestFileTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{Load, 0x123456789a, 8})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestWriterRejectsBadRefs(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{Load, 0, 3}) // invalid size
+	if err := w.Close(); err == nil {
+		t.Error("bad size not reported")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Ref(Ref{Load, uint64(i) * 8, 8})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Counts
+	n, err := r.Replay(&c)
+	if err != nil || n != 100 || c.Loads != 100 {
+		t.Errorf("replay: n=%d err=%v counts=%+v", n, err, c)
+	}
+}

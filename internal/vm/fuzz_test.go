@@ -1,0 +1,40 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// FuzzStep feeds arbitrary decoded instructions to the CPU and
+// requires that execution never panics: every failure mode must be a
+// returned error (bad opcode, divide by zero, fetch fault).
+func FuzzStep(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(2), uint8(3), int64(4), uint64(7), uint64(9))
+	f.Add(uint8(30), uint8(2), uint8(1), uint8(1), int64(0x100000), uint64(0), uint64(0))
+	f.Add(uint8(255), uint8(0), uint8(0), uint8(0), int64(-1), uint64(1), uint64(2))
+	f.Fuzz(func(t *testing.T, op, rd, rs1, rs2 uint8, imm int64, v1, v2 uint64) {
+		prog := &isa.Program{
+			Entry:    0x1000,
+			CodeBase: 0x1000,
+			Code: []isa.Instr{
+				{Op: isa.Op(op), Rd: rd % isa.NumRegs, Rs1: rs1 % isa.NumRegs,
+					Rs2: rs2 % isa.NumRegs, Imm: imm},
+				{Op: isa.OpHalt},
+			},
+			Symbols: map[string]uint64{},
+		}
+		c := New(prog, trace.Discard)
+		if r := rs1 % isa.NumRegs; r != isa.RegZero {
+			c.Regs[r] = v1
+		}
+		if r := rs2 % isa.NumRegs; r != isa.RegZero {
+			c.Regs[r] = v2
+		}
+		_ = c.Run(16) // errors are acceptable; panics are not
+		if c.Regs[isa.RegZero] != 0 {
+			t.Fatal("r0 modified")
+		}
+	})
+}

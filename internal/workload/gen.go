@@ -1,0 +1,541 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// prog accumulates assembly source text.
+type prog struct{ b strings.Builder }
+
+func (p *prog) f(format string, args ...interface{}) {
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *prog) label(name string) { p.f("%s:", name) }
+
+func (p *prog) assemble() *isa.Program { return asm.MustAssemble(p.b.String()) }
+
+// Generated-code register conventions (documented once here):
+//
+//	r1  outer loop counter        r10..r17 stream pointers
+//	r2  inner loop counter        r18..r19 write pointers
+//	r3  LCG state                 r20..r25 temporaries
+//	r4,r5 scratch                 r8  window base (farm)
+//	r6,r7 accumulators            r9  address scratch
+//	r26 row-reuse pointer
+
+// dataArena is where generated kernels place their main data. It is
+// comfortably above the assembler's default data base and the stack.
+const dataArena = 0x1000000
+
+// lcgStep emits the linear congruential update of r3 (31-bit state).
+func (p *prog) lcgStep() {
+	p.f("muli r4, r3, 1103515245")
+	p.f("addi r4, r4, 12345")
+	p.f("andi r3, r4, 0x7fffffff")
+}
+
+// ---------------------------------------------------------------------
+// Multi-stream sweep generator: the floating-point stencil kernels.
+// ---------------------------------------------------------------------
+
+// stream describes one array walked by a sweep kernel.
+type stream struct {
+	base     uint64
+	neighbor bool // additionally read [i+1] from this stream
+	prevRow  bool // additionally read [i - rowBytes] (previous-row reuse)
+}
+
+// sweep parameterises a stencil-like kernel: every inner iteration
+// reads each read-stream, performs flops, writes each write-stream, and
+// advances all pointers by elemSize. Base addresses control aliasing in
+// the caches under test; see each benchmark for its chosen layout.
+type sweep struct {
+	reads    []stream
+	writes   []uint64
+	elems    int // elements per pass
+	elemSize int // bytes per element (8 for float64 kernels)
+	rowBytes int // row length for prevRow streams
+	flops    int // extra FP ops per iteration
+	alus     int // extra integer ops per iteration
+	rereads  int // extra round-robin re-read rounds over all streams
+	// rereads models stencils that consume each operand several times.
+	// The rounds revisit the streams in A,B,C,A,B,C order: on streams
+	// that conflict in a small-set cache every round thrashes again
+	// (multiplying the conflict misses the paper attributes to the long
+	// lines), while on spread streams and in high-set-count caches the
+	// re-reads simply hit, lowering the per-access miss floor.
+}
+
+func (s sweep) build() *isa.Program {
+	var p prog
+	p.f(".text 0x1000")
+	p.label("main")
+	p.f("li r6, 0")
+	p.f("li r7, 0")
+	p.f("li r1, 0x7fffffff") // effectively run until the budget expires
+	p.label("outer")
+	for i, st := range s.reads {
+		p.f("li r%d, 0x%x", 10+i, st.base)
+	}
+	for i, w := range s.writes {
+		p.f("li r%d, 0x%x", 18+i, w)
+	}
+	p.f("li r2, %d", s.elems)
+	p.label("inner")
+	for i, st := range s.reads {
+		reg := 10 + i
+		p.f("ld r4, 0(r%d)", reg)
+		p.f("fadd r6, r6, r4")
+		if st.neighbor {
+			p.f("ld r4, %d(r%d)", s.elemSize, reg)
+			p.f("fadd r6, r6, r4")
+		}
+		if st.prevRow && s.rowBytes > 0 {
+			p.f("ld r4, -%d(r%d)", s.rowBytes, reg)
+			p.f("fadd r6, r6, r4")
+		}
+	}
+	for round := 0; round < s.rereads; round++ {
+		for i := range s.reads {
+			p.f("ld r4, 0(r%d)", 10+i)
+			p.f("fadd r6, r6, r4")
+		}
+	}
+	for j := 0; j < s.flops; j++ {
+		p.f("fmul r7, r6, r6")
+	}
+	for j := 0; j < s.alus; j++ {
+		p.f("add r5, r5, r2")
+	}
+	for i := range s.writes {
+		p.f("sd r7, 0(r%d)", 18+i)
+	}
+	for i := range s.reads {
+		p.f("addi r%d, r%d, %d", 10+i, 10+i, s.elemSize)
+	}
+	for i := range s.writes {
+		p.f("addi r%d, r%d, %d", 18+i, 18+i, s.elemSize)
+	}
+	p.f("addi r2, r2, -1")
+	p.f("bne r2, zero, inner")
+	p.f("addi r1, r1, -1")
+	p.f("bne r1, zero, outer")
+	p.f("halt")
+	return p.assemble()
+}
+
+// Alias-layout helpers. The proposed D-cache has 16 sets of 512 B lines
+// (set period 8 KiB); a conventional 16 KiB direct-mapped 32 B cache has
+// 512 sets (period 16 KiB).
+
+// collideBase returns the k-th base address of a family that all map to
+// the *same* set of the proposed column-buffer cache while occupying
+// well-separated sets of conventional 32 B-line caches: spacing is
+// arraySpan rounded up to an odd multiple of 8 KiB, plus k·64 B of skew
+// (which moves 2 conventional sets per array but stays inside the same
+// 512 B column).
+func collideBase(arena uint64, k int, arraySpan uint64) uint64 {
+	span := (arraySpan/8192 + 1) * 8192
+	if (span/8192)%2 == 0 {
+		span += 8192 // odd multiple of 8 KiB: alternates 16 KiB DM halves
+	}
+	return arena + uint64(k)*span + uint64(k)*64
+}
+
+// spreadBase returns the k-th base of a family spread across *different*
+// proposed sets (and different conventional sets): spacing is the array
+// span rounded up to 8 KiB plus one 512 B column per array.
+func spreadBase(arena uint64, k int, arraySpan uint64) uint64 {
+	span := (arraySpan/8192 + 1) * 8192
+	return arena + uint64(k)*(span+512)
+}
+
+// ---------------------------------------------------------------------
+// Index-chase generator: pointer-heavy integer kernels.
+// ---------------------------------------------------------------------
+
+// chase parameterises a kernel that visits pseudo-random records in a
+// large arena (an LCG supplies the indices, so no initialisation pass
+// is needed), reads a few fields of each record, occasionally writes
+// one, mixes in accesses to a small hot region, and branches on the
+// random state — the access signature of 099.go, 129.compress,
+// 147.vortex, and the Synopsys netlist walk.
+type chase struct {
+	arenaBytes  uint64 // power of two
+	recordBytes int    // power of two; fields live at 8-byte offsets
+	fields      int    // loads per record
+	storeEvery  int    // one field store every N records (0 = never)
+	hotBytes    uint64 // power of two; 0 disables the hot region
+	hotReads    int    // loads from the hot region per record
+	alus        int    // extra integer ops per record
+	branchy     bool   // add a data-dependent branch per record
+	seqRun      int    // visit N consecutive records per random jump (spatial locality)
+	seqReads    int    // loads from a sequential input stream per iteration
+	randomEvery int    // take the random jump only every N iterations (power of two; 0/1 = always)
+	// revisitEvery re-touches an old record every N iterations (power
+	// of two; 0 disables). The record visited revisitLag jumps ago is
+	// read again: recent enough that its evicted 32 B block may still
+	// sit in the victim cache, old enough that its 512 B line has left
+	// the 32-line main cache — the access pattern behind 099.go's
+	// modest (~25%) victim-cache benefit in Figure 8.
+	revisitEvery int
+	revisitLag   int // jumps back (must be < 64)
+}
+
+func (c chase) build() *isa.Program {
+	if c.arenaBytes&(c.arenaBytes-1) != 0 {
+		panic("chase: arena must be a power of two")
+	}
+	run := c.seqRun
+	if run < 1 {
+		run = 1
+	}
+	var p prog
+	p.f(".text 0x1000")
+	p.label("main")
+	p.f("li r3, 123456789")
+	p.f("li r7, 0")
+	p.f("li r5, 0") // record counter for storeEvery
+	p.f("li r1, 0x7fffffff")
+	if c.seqReads > 0 {
+		p.f("li r23, 0x%x", dataArena+2*c.arenaBytes+0x1340) // sequential input
+	}
+	p.f("li r9, 0x%x", dataArena)   // current record
+	hotBase := dataArena - 0x100000 // hot region sits below the arena
+	ringBase := hotBase - 0x10000   // 64-entry ring of past record addresses
+	if c.revisitEvery > 1 {
+		p.f("li r26, 0") // ring index
+	}
+	p.label("loop")
+	p.lcgStep()
+	if c.randomEvery > 1 {
+		// Revisit the current record most iterations; jump randomly
+		// only every randomEvery-th iteration.
+		p.f("addi r22, r22, 1")
+		p.f("andi r4, r22, %d", c.randomEvery-1)
+		p.f("bne r4, zero, nojump")
+	}
+	// r9 = arena + (rand * recordBytes) & (arenaBytes-1)
+	p.f("srli r9, r3, 7")
+	p.f("slli r9, r9, %d", log2(uint64(c.recordBytes)))
+	p.f("andi r9, r9, 0x%x", c.arenaBytes-1)
+	p.f("addi r9, r9, 0x%x", dataArena)
+	if c.randomEvery > 1 {
+		p.label("nojump")
+	}
+	if c.revisitEvery > 1 {
+		// Log the current record in the ring (the ring itself stays
+		// cache-hot; it models the evaluator's node stack).
+		p.f("andi r24, r26, 63")
+		p.f("slli r24, r24, 3")
+		p.f("addi r24, r24, 0x%x", ringBase)
+		p.f("sd r9, 0(r24)")
+		p.f("addi r26, r26, 1")
+		// Every revisitEvery-th iteration, re-read a field of the
+		// record visited revisitLag jumps ago.
+		p.f("andi r24, r26, %d", c.revisitEvery-1)
+		p.f("bne r24, zero, norevisit")
+		p.f("addi r24, r26, %d", 64-c.revisitLag)
+		p.f("andi r24, r24, 63")
+		p.f("slli r24, r24, 3")
+		p.f("addi r24, r24, 0x%x", ringBase)
+		p.f("ld r24, 0(r24)")
+		p.f("ld r25, 0(r24)")
+		p.f("add r7, r7, r25")
+		p.label("norevisit")
+	}
+	for s := 0; s < c.seqReads; s++ {
+		p.f("ld r4, %d(r23)", s*8)
+		p.f("add r7, r7, r4")
+	}
+	if c.seqReads > 0 {
+		p.f("addi r23, r23, %d", c.seqReads*8)
+	}
+	for r := 0; r < run; r++ {
+		for fld := 0; fld < c.fields; fld++ {
+			p.f("ld r4, %d(r9)", fld*8)
+			p.f("add r7, r7, r4")
+		}
+		if c.storeEvery > 0 {
+			p.f("addi r5, r5, 1")
+			p.f("andi r4, r5, %d", c.storeEvery-1)
+			p.f("bne r4, zero, nostore%d", r)
+			p.f("sd r7, %d(r9)", (c.fields-1)*8)
+			p.label(fmt.Sprintf("nostore%d", r))
+		}
+		if r < run-1 {
+			p.f("addi r9, r9, %d", c.recordBytes)
+		}
+	}
+	for h := 0; h < c.hotReads; h++ {
+		// Hot-region index derived from a different slice of the state.
+		p.f("srli r4, r3, %d", 3+h)
+		p.f("andi r4, r4, 0x%x", (c.hotBytes-1)&^7)
+		p.f("addi r4, r4, 0x%x", hotBase)
+		p.f("ld r4, 0(r4)")
+		p.f("add r7, r7, r4")
+	}
+	if c.branchy {
+		p.f("andi r4, r3, 64")
+		p.f("beq r4, zero, even")
+		p.f("addi r7, r7, 1")
+		p.f("j join")
+		p.label("even")
+		p.f("addi r7, r7, 3")
+		p.label("join")
+	}
+	for a := 0; a < c.alus; a++ {
+		p.f("xor r6, r6, r7")
+	}
+	p.f("addi r1, r1, -1")
+	p.f("bne r1, zero, loop")
+	p.f("halt")
+	return p.assemble()
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Function-farm generator: code-footprint-heavy kernels.
+// ---------------------------------------------------------------------
+
+// farmPattern selects how the driver picks the next function.
+type farmPattern int
+
+const (
+	// farmWindow walks a window of consecutive functions, calling
+	// random members of the window, sliding the window periodically —
+	// the phase behaviour of a compiler (126.gcc) or simulator.
+	farmWindow farmPattern = iota
+	// farmUniform picks functions uniformly at random — the dispatch
+	// behaviour of an interpreter with poor code locality (134.perl).
+	farmUniform
+)
+
+// farm parameterises a kernel dominated by its instruction footprint:
+// nFuncs functions of funcInstrs instructions each (padded to a
+// power-of-two slot so indirect calls are cheap), called from a driver
+// loop. Function bodies mix ALU work with loads from a shared data
+// arena and a hot region.
+type farm struct {
+	nFuncs         int // power of two
+	funcInstrs     int // instructions per function incl. ret; slot rounded up
+	pattern        farmPattern
+	window         int    // farmWindow: window size (power of two)
+	callsPerWindow int    // farmWindow: calls before the window slides
+	dataBytes      uint64 // power of two; shared LCG-indexed arena
+	dataReads      int    // random-arena loads per qualifying call
+	randomEvery    int    // random-arena loads only every N calls (power of two; 0/1 = always)
+	seqReads       int    // sequential-stream loads per call
+	funcData       int    // loads from the function's private 256 B blob per call
+	dataWrites     bool   // one store per qualifying call
+	hotBytes       uint64
+	hotReads       int
+}
+
+// fdataBase is where farm functions keep their private 256 B data
+// blobs (constants, literal pools): high-reuse data whose working set
+// follows the active code window.
+const fdataBase = dataArena - 0x300000
+
+func (f farm) build() *isa.Program {
+	slot := 1
+	for slot < f.funcInstrs*isa.WordSize {
+		slot <<= 1
+	}
+	const funcBase = 0x10000
+	var p prog
+	p.f(".text 0x1000")
+	p.label("main")
+	p.f("li r3, 987654321")
+	p.f("li r5, 0")
+	p.f("li r7, 0")
+	p.f("li r8, 0")
+	if f.seqReads > 0 {
+		p.f("li r23, 0x%x", dataArena+2*f.dataBytes+0x1340)
+	}
+	p.f("li r1, 0x7fffffff")
+	p.label("drv")
+	p.lcgStep()
+	p.f("srli r4, r3, 9")
+	switch f.pattern {
+	case farmWindow:
+		p.f("andi r4, r4, %d", f.window-1)
+		p.f("add r4, r4, r8")
+		p.f("andi r4, r4, %d", f.nFuncs-1)
+	case farmUniform:
+		p.f("andi r4, r4, %d", f.nFuncs-1)
+	}
+	p.f("slli r4, r4, %d", log2(uint64(slot)))
+	p.f("addi r4, r4, 0x%x", funcBase)
+	p.f("jalr ra, r4, 0")
+	if f.pattern == farmWindow {
+		p.f("addi r5, r5, 1")
+		p.f("andi r4, r5, %d", f.callsPerWindow-1)
+		p.f("bne r4, zero, nowslide")
+		p.f("addi r8, r8, %d", f.window/2)
+		p.label("nowslide")
+	}
+	p.f("addi r1, r1, -1")
+	p.f("bne r1, zero, drv")
+	p.f("halt")
+
+	// Function bodies.
+	hotBase := dataArena - 0x100000
+	for i := 0; i < f.nFuncs; i++ {
+		p.f(".org 0x%x", uint64(funcBase)+uint64(i)*uint64(slot))
+		p.label(fmt.Sprintf("fn%d", i))
+		used := 1 // ret
+		if f.funcData > 0 {
+			p.f("li r9, 0x%x", uint64(fdataBase)+uint64(i)*256)
+			used++
+			for d := 0; d < f.funcData; d++ {
+				p.f("ld r20, %d(r9)", (d*8)%256)
+				p.f("add r7, r7, r20")
+				used += 2
+			}
+		}
+		for s := 0; s < f.seqReads; s++ {
+			p.f("ld r20, %d(r23)", s*8)
+			p.f("add r7, r7, r20")
+			used += 2
+		}
+		if f.seqReads > 0 {
+			p.f("addi r23, r23, %d", f.seqReads*8)
+			used++
+		}
+		skipData := f.randomEvery > 1 && f.dataReads > 0
+		if skipData {
+			p.f("addi r22, r22, 1")
+			p.f("andi r20, r22, %d", f.randomEvery-1)
+			p.f("bne r20, zero, fnskip%d", i)
+			used += 3
+		}
+		for d := 0; d < f.dataReads; d++ {
+			p.f("srli r9, r3, %d", 4+d)
+			p.f("andi r9, r9, 0x%x", (f.dataBytes-1)&^7)
+			p.f("addi r9, r9, 0x%x", dataArena)
+			p.f("ld r20, 0(r9)")
+			p.f("add r7, r7, r20")
+			used += 5
+		}
+		if f.dataWrites {
+			p.f("sd r7, 0(r9)")
+			used++
+		}
+		if skipData {
+			p.label(fmt.Sprintf("fnskip%d", i))
+		}
+		for h := 0; h < f.hotReads; h++ {
+			p.f("srli r9, r3, %d", 6+h)
+			p.f("andi r9, r9, 0x%x", (f.hotBytes-1)&^7)
+			p.f("addi r9, r9, 0x%x", hotBase)
+			p.f("ld r20, 0(r9)")
+			p.f("add r7, r7, r20")
+			used += 5
+		}
+		// A data-independent branch diamond adds realistic control flow.
+		p.f("andi r20, r3, %d", 16<<(i%3))
+		p.f("beq r20, zero, fna%d", i)
+		p.f("addi r7, r7, %d", i)
+		p.f("j fnb%d", i)
+		p.label(fmt.Sprintf("fna%d", i))
+		p.f("addi r7, r7, %d", i+1)
+		p.label(fmt.Sprintf("fnb%d", i))
+		used += 5
+		for used < f.funcInstrs-1 {
+			p.f("xor r21, r21, r7")
+			used++
+		}
+		p.f("ret")
+	}
+	return p.assemble()
+}
+
+// ---------------------------------------------------------------------
+// Straight-line generator: 145.fpppp.
+// ---------------------------------------------------------------------
+
+// straightLine builds a kernel whose loop body is a single enormous
+// straight-line code sequence (nBlocks × blockInstrs instructions of FP
+// work on a small data set), re-executed from the top — the structure
+// that makes 145.fpppp stream through its instruction cache.
+type straightLine struct {
+	nBlocks     int
+	blockInstrs int
+	dataBytes   uint64 // small working set, power of two
+}
+
+func (s straightLine) build() *isa.Program {
+	var p prog
+	p.f(".text 0x1000")
+	p.label("main")
+	p.f("li r7, 0")
+	p.f("li r1, 0x7fffffff")
+	p.label("top")
+	for b := 0; b < s.nBlocks; b++ {
+		// Each block touches one slot of the small working set and
+		// then grinds floating-point registers.
+		off := (uint64(b) * 264) & (s.dataBytes - 1) & ^uint64(7)
+		p.f("li r9, 0x%x", dataArena+off)
+		p.f("ld r4, 0(r9)")
+		p.f("fadd r6, r6, r4")
+		rem := s.blockInstrs - 4
+		for k := 0; k < rem; k++ {
+			switch k % 3 {
+			case 0:
+				p.f("fmul r5, r6, r6")
+			case 1:
+				p.f("fadd r6, r6, r5")
+			default:
+				p.f("fsub r5, r5, r6")
+			}
+		}
+		p.f("sd r6, 0(r9)")
+	}
+	p.f("addi r1, r1, -1")
+	p.f("bne r1, zero, top")
+	p.f("halt")
+	return p.assemble()
+}
+
+// ---------------------------------------------------------------------
+// Linked-list builder: 130.li.
+// ---------------------------------------------------------------------
+
+// buildLists creates nLists cons-cell lists of listLen cells each.
+// Cell layout: [car int64][cdr pointer]. Cells of each list are
+// allocated sequentially (allocation order = traversal order, as in a
+// fresh heap), and list base addresses are chosen by the caller. The
+// returned segments initialise the heap.
+func buildLists(bases []uint64, listLen int) []isa.Segment {
+	segs := make([]isa.Segment, 0, len(bases))
+	for _, base := range bases {
+		buf := make([]byte, listLen*16)
+		for i := 0; i < listLen; i++ {
+			car := uint64(i)*7 + 1
+			var cdr uint64
+			if i < listLen-1 {
+				cdr = base + uint64(i+1)*16
+			}
+			binary.LittleEndian.PutUint64(buf[i*16:], car)
+			binary.LittleEndian.PutUint64(buf[i*16+8:], cdr)
+		}
+		segs = append(segs, isa.Segment{Base: base, Bytes: buf})
+	}
+	return segs
+}

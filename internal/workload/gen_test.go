@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// TestCollideBaseAliases: every base in a collideBase family maps to
+// the same set of the proposed 16-set 512 B cache, while landing in
+// distinct sets of a conventional 16 KB direct-mapped 32 B cache.
+func TestCollideBaseAliases(t *testing.T) {
+	const span = 512 << 10
+	propSet := func(addr uint64) uint64 { return (addr / 512) % 16 }
+	convSet := func(addr uint64) uint64 { return (addr / 32) % 512 }
+	base0 := collideBase(dataArena, 0, span)
+	seenConv := map[uint64]bool{convSet(base0): true}
+	for k := 1; k < 6; k++ {
+		b := collideBase(dataArena, k, span)
+		if propSet(b) != propSet(base0) {
+			t.Errorf("k=%d: proposed set %d != %d", k, propSet(b), propSet(base0))
+		}
+		if seenConv[convSet(b)] {
+			t.Errorf("k=%d: conventional set %d collides", k, convSet(b))
+		}
+		seenConv[convSet(b)] = true
+		if b < base0+uint64(k)*span {
+			t.Errorf("k=%d: arrays overlap", k)
+		}
+	}
+}
+
+// TestSpreadBaseSpreads: spreadBase families land in distinct proposed
+// sets.
+func TestSpreadBaseSpreads(t *testing.T) {
+	const span = 1 << 20
+	propSet := func(addr uint64) uint64 { return (addr / 512) % 16 }
+	seen := map[uint64]bool{}
+	for k := 0; k < 6; k++ {
+		b := spreadBase(dataArena, k, span)
+		if seen[propSet(b)] {
+			t.Errorf("k=%d: proposed set %d reused", k, propSet(b))
+		}
+		seen[propSet(b)] = true
+	}
+}
+
+// TestFarmSlotsDoNotOverflow: every registered farm-based workload
+// assembles, which (via .org) proves no function body exceeds its slot.
+// Also check that the generated code is position-exact: fn0 sits at
+// the expected base.
+func TestFarmSlotsDoNotOverflow(t *testing.T) {
+	f := farm{
+		nFuncs: 8, funcInstrs: 30, pattern: farmWindow,
+		window: 4, callsPerWindow: 16,
+		dataBytes: 1 << 16, dataReads: 1, randomEvery: 2,
+		seqReads: 1, funcData: 2, dataWrites: true,
+		hotBytes: 1 << 10, hotReads: 1,
+	}
+	p := f.build()
+	if got := p.Symbols["fn0"]; got != 0x10000 {
+		t.Errorf("fn0 at %#x, want 0x10000", got)
+	}
+	// Slot = 128 B for 30 instructions.
+	if got := p.Symbols["fn1"]; got != 0x10000+128 {
+		t.Errorf("fn1 at %#x, want fn0+128", got)
+	}
+	// And the program must actually run: every function reachable.
+	cpu, err := vm.RunProgram(p, trace.Discard, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Instructions < 20_000 {
+		t.Errorf("farm program halted early at %d instructions", cpu.Instructions)
+	}
+}
+
+// TestChaseStaysInArena: the chase generator's addresses stay inside
+// [dataArena, dataArena+arena+recordBytes).
+func TestChaseStaysInArena(t *testing.T) {
+	c := chase{
+		arenaBytes: 1 << 16, recordBytes: 64, fields: 2,
+		storeEvery: 2, hotBytes: 1 << 10, hotReads: 1,
+		alus: 2, branchy: true, seqRun: 2,
+	}
+	p := c.build()
+	bad := 0
+	hotBase := uint64(dataArena - 0x100000)
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.Ifetch {
+			return
+		}
+		inArena := r.Addr >= dataArena && r.Addr < dataArena+(1<<16)+128
+		inHot := r.Addr >= hotBase && r.Addr < hotBase+(1<<10)
+		if !inArena && !inHot {
+			bad++
+		}
+	})
+	if _, err := vm.RunProgram(p, sink, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0 {
+		t.Errorf("%d accesses escaped the arena/hot regions", bad)
+	}
+}
+
+// TestSweepTouchesAllStreams: each configured stream and write target
+// is actually accessed.
+func TestSweepTouchesAllStreams(t *testing.T) {
+	s := sweep{
+		reads: []stream{
+			{base: dataArena, neighbor: true},
+			{base: dataArena + 0x10000, prevRow: true},
+		},
+		writes:   []uint64{dataArena + 0x20000},
+		elems:    64,
+		elemSize: 8,
+		rowBytes: 256,
+		flops:    2,
+		alus:     1,
+		rereads:  1,
+	}
+	p := s.build()
+	touched := map[uint64]bool{}
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind != trace.Ifetch {
+			touched[r.Addr&^0xffff] = true
+		}
+	})
+	if _, err := vm.RunProgram(p, sink, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []uint64{dataArena, dataArena + 0x10000, dataArena + 0x20000} {
+		if !touched[base&^0xffff] {
+			t.Errorf("region %#x never touched", base)
+		}
+	}
+}
+
+// TestBuildListsLinkage: cons cells really point at each other.
+func TestBuildListsLinkage(t *testing.T) {
+	segs := buildLists([]uint64{0x100000}, 4)
+	if len(segs) != 1 || len(segs[0].Bytes) != 64 {
+		t.Fatalf("segments: %+v", segs)
+	}
+	b := segs[0].Bytes
+	// cdr of cell 0 -> cell 1.
+	cdr0 := uint64(b[8]) | uint64(b[9])<<8 | uint64(b[10])<<16 | uint64(b[11])<<24
+	if cdr0 != 0x100010 {
+		t.Errorf("cdr0 = %#x, want 0x100010", cdr0)
+	}
+	// cdr of the last cell is nil.
+	last := b[3*16+8 : 3*16+16]
+	for _, v := range last {
+		if v != 0 {
+			t.Error("last cdr not nil")
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for v, want := range map[uint64]int{1: 0, 2: 1, 64: 6, 4096: 12} {
+		if got := log2(v); got != want {
+			t.Errorf("log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package workload
+
+import "repro/internal/isa"
+
+// Integer benchmark stand-ins (SPEC'95 CINT + Synopsys). Parameter
+// choices are annotated with the paper observation they reproduce.
+
+func init() {
+	register(Workload{
+		Name: "099.go",
+		Description: "AI game playing: branchy evaluation over small " +
+			"board structures scattered through a medium arena; poor " +
+			"spatial locality, so 512 B lines cannot help and the victim " +
+			"cache recovers only a modest fraction of the misses.",
+		Build: func() *isa.Program {
+			return chase{
+				arenaBytes:  512 << 10,
+				recordBytes: 64,
+				fields:      4,
+				storeEvery:  4,
+				hotBytes:    2 << 10, // the board itself stays hot
+				hotReads:    4,
+				alus:        8,
+				branchy:     true,
+				seqRun:      1,
+				randomEvery: 2, // evaluator revisits the current node
+				// ...and periodically re-reads nodes from its search
+				// stack whose lines have just been evicted: the source
+				// of go's modest victim-cache benefit (Figure 8).
+				revisitEvery: 4,
+				revisitLag:   40,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "124.m88ksim",
+		Description: "CPU simulator: a dispatch loop over ~16 KB of " +
+			"handler code working in a small sliding window, a hot " +
+			"register file, and a simulated memory image.",
+		Build: func() *isa.Program {
+			return farm{
+				nFuncs:         128,
+				funcInstrs:     30, // 128 B slots -> 16 KB of handler code
+				pattern:        farmWindow,
+				window:         16,
+				callsPerWindow: 256,
+				dataBytes:      256 << 10,
+				dataReads:      1,
+				randomEvery:    8,
+				funcData:       2,
+				hotBytes:       1 << 10,
+				hotReads:       2,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "126.gcc",
+		Description: "Compiler: ~128 KB of code executed in pass-like " +
+			"phases (a sliding window of functions) over per-function " +
+			"literal pools, a sequential IR stream, and occasional " +
+			"symbol-table probes. The long I-cache lines prefetch each " +
+			"function body in one fill, keeping the proposed I-cache " +
+			"within reach of much larger conventional caches.",
+		Build: func() *isa.Program {
+			return farm{
+				nFuncs:         512,
+				funcInstrs:     64, // 256 B slots -> 128 KB of code
+				pattern:        farmWindow,
+				window:         32,
+				callsPerWindow: 64,
+				dataBytes:      2 << 20,
+				dataReads:      1,
+				randomEvery:    8,
+				seqReads:       2,
+				funcData:       3,
+				dataWrites:     true,
+				hotBytes:       8 << 10,
+				hotReads:       1,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "129.compress",
+		Description: "Adaptive Lempel-Ziv: a tiny code loop reading a " +
+			"sequential input stream and hashing into a table with " +
+			"effectively random probes plus an insert store; neither " +
+			"long lines nor the victim cache can manufacture locality " +
+			"that is not there.",
+		Build: func() *isa.Program {
+			return chase{
+				arenaBytes:  512 << 10, // hash table
+				recordBytes: 32,
+				fields:      2,
+				storeEvery:  2,
+				hotBytes:    4 << 10, // code tables
+				hotReads:    2,
+				alus:        8,
+				branchy:     true,
+				seqRun:      1,
+				seqReads:    2, // the input text
+				randomEvery: 2,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "130.li",
+		Description: "Lisp interpreter: three cons-cell lists traversed " +
+			"in lockstep whose heap bases alias in the 16-set column-" +
+			"buffer cache. Without the victim cache every cell access " +
+			"thrashes; the victim cache holds each list's current 32 B " +
+			"block (two cells), absorbing the conflicts.",
+		Build: buildLi,
+	})
+
+	register(Workload{
+		Name: "132.ijpeg",
+		Description: "JPEG compression: block-transform over a working " +
+			"set that fits on chip; essentially no misses anywhere, as " +
+			"in the paper.",
+		Build: func() *isa.Program {
+			return sweep{
+				reads: []stream{
+					{base: dataArena, neighbor: true},
+					{base: dataArena + 0x2200, neighbor: true}, // distinct sets
+				},
+				writes:   []uint64{dataArena + 0x4400},
+				elems:    512, // ~12 KB working set, reswept forever
+				elemSize: 8,
+				flops:    8,
+				alus:     4,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "134.perl",
+		Description: "Interpreter with large, poor-locality code: " +
+			"uniformly random dispatch over 64 KB of handlers. High " +
+			"I-miss rates everywhere, though each 512 B fill captures a " +
+			"whole handler, so the proposed cache still beats a same-" +
+			"size conventional one.",
+		Build: func() *isa.Program {
+			return farm{
+				nFuncs:      256,
+				funcInstrs:  56, // 256 B slots -> 64 KB of code
+				pattern:     farmUniform,
+				dataBytes:   512 << 10,
+				dataReads:   1,
+				randomEvery: 8,
+				hotBytes:    8 << 10,
+				hotReads:    3,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "147.vortex",
+		Description: "Object-oriented database: 64 KB of code in " +
+			"transaction-shaped phases over a multi-megabyte record " +
+			"heap (reads, updates, index probes) — the heaviest data " +
+			"memory component among the integer codes, as in Table 3.",
+		Build: func() *isa.Program {
+			return farm{
+				nFuncs:         256,
+				funcInstrs:     60, // 256 B slots -> 64 KB of code
+				pattern:        farmWindow,
+				window:         32,
+				callsPerWindow: 128,
+				dataBytes:      16 << 20,
+				dataReads:      1,
+				randomEvery:    4,
+				funcData:       3,
+				dataWrites:     true,
+				hotBytes:       8 << 10,
+				hotReads:       2,
+			}.build()
+		},
+	})
+
+	register(Workload{
+		Name: "synopsys",
+		Description: "Logic verification: random traversal of a >50 MB " +
+			"netlist graph — the paper's example of a working set no " +
+			"SRAM cache hierarchy can contain (Table 1, Figure 2).",
+		Budget: 3 * DefaultBudget / 2,
+		Build: func() *isa.Program {
+			return chase{
+				arenaBytes:  64 << 20,
+				recordBytes: 64,
+				fields:      2, // one 16 B pin-pair read per gate record
+				storeEvery:  8,
+				hotBytes:    4 << 10, // evaluation tables stay tiny
+				hotReads:    2,
+				alus:        10,
+				branchy:     true,
+				seqRun:      1,
+			}.build()
+		},
+	})
+}
+
+// buildLi constructs the Lisp-interpreter kernel: three lists whose
+// bases all map to set 0 of the proposed data cache, traversed in
+// lockstep by genuine cdr pointer-chasing (the cells really link to
+// each other in simulated memory).
+func buildLi() *isa.Program {
+	const listLen = 1024 // 16 KB per list; all three fit a 64 KB cache
+	bases := []uint64{
+		collideBase(dataArena, 0, listLen*16),
+		collideBase(dataArena, 1, listLen*16),
+		collideBase(dataArena, 2, listLen*16),
+	}
+	var p prog
+	p.f(".text 0x1000")
+	p.label("main")
+	p.f("li r7, 0")
+	p.f("li r1, 0x7fffffff")
+	p.label("reset")
+	for i, b := range bases {
+		p.f("li r%d, 0x%x", 10+i, b)
+	}
+	p.f("li r20, 0x%x", dataArena-0x100000) // hot environment frame
+	p.label("loop")
+	// Most of the interpreter's references hit its small environment;
+	// only every fourth iteration advances the heap traversal.
+	p.f("addi r22, r22, 1")
+	p.f("andi r4, r22, 3")
+	p.f("bne r4, zero, envwork")
+	for i := range bases {
+		reg := 10 + i
+		p.f("ld r4, 0(r%d)", reg)       // car
+		p.f("add r7, r7, r4")           // evaluate
+		p.f("ld r%d, 8(r%d)", reg, reg) // cdr chase
+	}
+	p.f("j evaldone")
+	p.label("envwork")
+	for k := 0; k < 3; k++ {
+		p.f("ld r4, %d(r20)", k*16)
+		p.f("add r7, r7, r4")
+	}
+	p.f("sd r7, 48(r20)")
+	p.label("evaldone")
+	// Some interpreter-ish ALU work between cells.
+	for k := 0; k < 6; k++ {
+		p.f("xor r5, r5, r7")
+	}
+	p.f("slli r6, r7, 1")
+	p.f("add r5, r5, r6")
+	p.f("addi r1, r1, -1")
+	p.f("beq r1, zero, done")
+	// When the first list ends (nil cdr), restart all three.
+	p.f("beq r10, zero, reset")
+	p.f("j loop")
+	p.label("done")
+	p.f("halt")
+	program := p.assemble()
+	program.Data = append(program.Data, buildLists(bases, listLen)...)
+	return program
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpumodel"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// CacheSet is the collection of cache models fed by one simulation run
+// of a workload — everything needed for Figures 7 and 8 and for the
+// GSPN inputs of Tables 3 and 4, gathered in a single pass.
+type CacheSet struct {
+	// Proposed organisation.
+	PropI       *cache.SetAssoc   // 8 KB DM, 512 B lines (column buffers)
+	PropD       *cache.SetAssoc   // 16 KB 2-way, 512 B lines, no victim
+	PropDVictim *cache.WithVictim // same + 16×32 B victim cache
+
+	// Conventional I-caches, direct-mapped, 32 B lines (Figure 7 bars).
+	ConvI map[int]*cache.SetAssoc // size KB -> cache
+
+	// Conventional D-caches, 32 B lines (Figure 8 bars).
+	ConvD1 map[int]*cache.SetAssoc // direct-mapped, size KB -> cache
+	ConvD2 map[int]*cache.SetAssoc // 2-way, size KB -> cache
+
+	// Reference-system second-level cache (unified, 2-way, 32 B lines,
+	// 256 KB): sees only first-level misses from the 16 KB ConvI/ConvD1
+	// pair, exactly as in the Figure 10 grey components.
+	L2 *cache.SetAssoc
+
+	Counts trace.Counts
+}
+
+// ConvISizesKB and ConvDSizesKB are the conventional cache sizes
+// plotted in Figures 7 and 8.
+var (
+	ConvISizesKB = []int{8, 16, 32, 64}
+	ConvDSizesKB = []int{8, 16, 32, 64, 128, 256}
+)
+
+// NewCacheSet builds fresh caches for one measurement run.
+func NewCacheSet() *CacheSet {
+	cs := &CacheSet{
+		PropI:       cache.ProposedICache(),
+		PropD:       cache.ProposedDCache(),
+		PropDVictim: cache.Proposed(),
+		ConvI:       make(map[int]*cache.SetAssoc),
+		ConvD1:      make(map[int]*cache.SetAssoc),
+		ConvD2:      make(map[int]*cache.SetAssoc),
+		L2: cache.NewSetAssoc("256KB 2-way 32B unified L2",
+			256<<10, 32, 2),
+	}
+	for _, kb := range ConvISizesKB {
+		cs.ConvI[kb] = cache.NewDirectMapped(
+			fmt.Sprintf("%dKB DM 32B I", kb), uint64(kb)<<10, 32)
+	}
+	for _, kb := range ConvDSizesKB {
+		cs.ConvD1[kb] = cache.NewDirectMapped(
+			fmt.Sprintf("%dKB DM 32B D", kb), uint64(kb)<<10, 32)
+		cs.ConvD2[kb] = cache.NewSetAssoc(
+			fmt.Sprintf("%dKB 2-way 32B D", kb), uint64(kb)<<10, 32, 2)
+	}
+	return cs
+}
+
+// Ref implements trace.Sink: one reference drives every cache model.
+func (cs *CacheSet) Ref(r trace.Ref) {
+	cs.Counts.Ref(r)
+	if r.Kind == trace.Ifetch {
+		cs.PropI.Access(r.Addr, r.Kind)
+		hit16 := false
+		for kb, c := range cs.ConvI {
+			if c.Access(r.Addr, r.Kind) && kb == 16 {
+				hit16 = true
+			}
+		}
+		// The reference system's L2 sees 16 KB first-level I misses.
+		if !hit16 {
+			cs.L2.Access(r.Addr, r.Kind)
+		}
+		return
+	}
+	cs.PropD.Access(r.Addr, r.Kind)
+	cs.PropDVictim.Access(r.Addr, r.Kind)
+	hit16 := false
+	for kb, c := range cs.ConvD1 {
+		if c.Access(r.Addr, r.Kind) && kb == 16 {
+			hit16 = true
+		}
+	}
+	for _, c := range cs.ConvD2 {
+		c.Access(r.Addr, r.Kind)
+	}
+	if !hit16 {
+		cs.L2.Access(r.Addr, r.Kind)
+	}
+}
+
+// Measurement is the distilled result of one workload run.
+type Measurement struct {
+	Workload Workload
+	Caches   *CacheSet
+	Instr    int64
+}
+
+// Run executes the workload for the given instruction budget (<= 0
+// means the workload's own default) and measures every cache model.
+func Run(w Workload, budget int64) (*Measurement, error) {
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	cs := NewCacheSet()
+	program := w.Build()
+	cpu, err := vm.RunProgram(program, cs, budget)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return &Measurement{Workload: w, Caches: cs, Instr: cpu.Instructions}, nil
+}
+
+// Rates converts the measurement into GSPN inputs for the given system.
+// For the integrated system, withVictim selects whether the data-cache
+// hit probability includes the victim cache (Table 4) or not (Table 3).
+func (m *Measurement) Rates(integrated, withVictim bool) cpumodel.AppRates {
+	cs := m.Caches
+	app := cpumodel.AppRates{
+		Name:      m.Workload.Name,
+		BaseCPI:   m.Workload.BaseCPI,
+		LoadFrac:  cs.Counts.LoadFrac(),
+		StoreFrac: cs.Counts.StoreFrac(),
+	}
+	if app.BaseCPI < 1 {
+		app.BaseCPI = 1
+	}
+	if integrated {
+		app.IHit = 1 - cs.PropI.Stats().Ifetch.Rate()
+		d := cs.PropD.Stats()
+		if withVictim {
+			d = cs.PropDVictim.Stats()
+		}
+		app.LoadHit = 1 - d.Load.Rate()
+		app.StoreHit = 1 - d.Store.Rate()
+		return app
+	}
+	// Reference system: 16 KB first-level caches + measured conditional
+	// L2 hit rates.
+	app.IHit = 1 - cs.ConvI[16].Stats().Ifetch.Rate()
+	d := cs.ConvD1[16].Stats()
+	app.LoadHit = 1 - d.Load.Rate()
+	app.StoreHit = 1 - d.Store.Rate()
+	l2 := cs.L2.Stats()
+	app.IL2Hit = 1 - l2.Ifetch.Rate()
+	app.LoadL2Hit = 1 - l2.Load.Rate()
+	app.StoreL2Hit = 1 - l2.Store.Rate()
+	return app
+}
