@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet results quick-results clean
+.PHONY: all build test race bench vet results quick-results clean
 
 all: build vet test
 
@@ -16,11 +16,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full suite under the race detector (exercises the sweep engine, the
+# single-flight measurement cache, and the mpsim coordinator).
+race:
+	$(GO) test -race ./...
+
 # One benchmark per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment at full fidelity (~15 minutes).
+# Regenerate every experiment at full fidelity (~15 serial minutes,
+# spread across all cores by default; see the iramsim -j flag).
 results:
 	$(GO) run ./cmd/iramsim all | tee full_results.txt
 

@@ -15,14 +15,17 @@
 //	-budget N     per-workload instruction budget
 //	-seed N       Monte-Carlo seed
 //	-procs list   processor counts for fig13..fig17 (e.g. 1,2,4,8,16)
+//	-j N          worker goroutines for the experiment sweep
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -31,6 +34,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/selftest"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -44,6 +48,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "per-workload instruction budget (0 = default)")
 	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts for fig13..fig17")
+	workers := flag.Int("j", runtime.NumCPU(), "worker goroutines for the experiment sweep")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -73,238 +78,149 @@ func main() {
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"spec", "cost", "table1", "fig2", "fig7", "fig8", "fig11",
-			"fig12", "table3", "table4", "banks",
-			"fig13", "fig14", "fig15", "fig16", "fig17",
-			"ablate-linesize", "ablate-victim", "ablate-unit",
-			"ablate-scoreboard", "ablate-inc", "ablate-engines", "ablate-jouppi",
-			"scoma", "fabric", "selftest"}
+		names = append([]string{"spec"}, experiments.SweepNames()...)
+		names = append(names, "selftest")
 	}
 
 	ms := experiments.NewMeasurementSet(opts)
-	for _, name := range names {
-		if err := run(name, opts, ms); err != nil {
-			fatal(err)
-		}
+	if err := runNames(names, opts, ms, *workers, os.Stdout, os.Stderr); err != nil {
+		fatal(err)
 	}
 }
 
+// runNames fans the named experiments' units out over the worker pool
+// and renders each experiment's result, in command-line order, as its
+// units complete. Output on out is byte-identical for every worker
+// count; progress and timing go to progress only.
+func runNames(names []string, opts experiments.Options, ms *experiments.MeasurementSet,
+	workers int, out io.Writer, progress io.Writer) error {
+	jobs := make([]sweep.Job, 0, len(names))
+	for _, name := range names {
+		j, err := jobFor(name, opts, ms)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, j)
+	}
+	eng := &sweep.Engine{Workers: workers, Progress: progress}
+	return eng.Run(jobs, func(r sweep.JobResult) error {
+		return render(out, r.Name, r.Value)
+	})
+}
+
+// run executes one experiment serially; kept as the single-name entry
+// point (and for tests).
 func run(name string, opts experiments.Options, ms *experiments.MeasurementSet) error {
-	out := os.Stdout
+	return runNames([]string{name}, opts, ms, 1, os.Stdout, io.Discard)
+}
+
+// jobFor maps a command-line experiment name to a sweep job. The
+// text-only outputs (spec, workloads, fig910, selftest) live here as
+// single-unit jobs that render into a buffer; everything else comes
+// from the experiments registry.
+func jobFor(name string, opts experiments.Options, ms *experiments.MeasurementSet) (sweep.Job, error) {
 	switch name {
-	case "table1":
-		r, err := experiments.Table1(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "table1", r); err != nil {
-			return err
-		}
-	case "fig2":
-		r, err := experiments.Fig2(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "fig2", r); err != nil {
-			return err
-		}
-	case "fig7":
-		r, err := experiments.Fig7(opts, ms)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "fig7", r); err != nil {
-			return err
-		}
-	case "fig8":
-		r, err := experiments.Fig8(opts, ms)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "fig8", r); err != nil {
-			return err
-		}
-	case "fig11":
-		r, err := experiments.Fig11(opts, ms)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "fig11", r); err != nil {
-			return err
-		}
-		if !jsonMode {
-			r.Plot().Render(out)
-		}
-	case "fig12":
-		r, err := experiments.Fig12(opts, ms)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "fig12", r); err != nil {
-			return err
-		}
-		if !jsonMode {
-			r.Plot().Render(out)
-		}
-	case "table3":
-		r, err := experiments.Table34(opts, ms, false)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "table3", r); err != nil {
-			return err
-		}
-	case "table4":
-		r, err := experiments.Table34(opts, ms, true)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "table4", r); err != nil {
-			return err
-		}
-	case "banks":
-		r, err := experiments.Banks(opts, ms)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "banks", r); err != nil {
-			return err
-		}
-	case "fig13", "fig14", "fig15", "fig16", "fig17":
-		n, _ := strconv.Atoi(strings.TrimPrefix(name, "fig"))
-		r, err := experiments.SplashFigure(opts, n)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, name, r); err != nil {
-			return err
-		}
-		if !jsonMode {
-			r.Plot().Render(out)
-		}
-	case "cost":
-		experiments.Cost().Render(out)
-	case "workloads":
-		t := report.NewTable("Table 2: benchmark stand-ins",
-			"benchmark", "fp", "base CPI", "budget", "description")
-		for _, name := range workload.Names() {
-			w, err := workload.ByName(name)
-			if err != nil {
-				return err
-			}
-			desc := w.Description
-			if len(desc) > 72 {
-				desc = desc[:69] + "..."
-			}
-			t.Row(w.Name, w.Float, w.BaseCPI, w.Budget, desc)
-		}
-		t.Render(out)
-	case "fig910":
-		for _, cfg := range []cpumodel.SystemConfig{cpumodel.Integrated(), cpumodel.Reference()} {
-			m, err := cpumodel.Build(cfg, cpumodel.AppRates{
-				Name: "shape", BaseCPI: 1, LoadFrac: 0.25, StoreFrac: 0.1,
-				IHit: 0.95, LoadHit: 0.95, StoreHit: 0.95,
-				IL2Hit: 0.9, LoadL2Hit: 0.9, StoreL2Hit: 0.9,
-			})
-			if err != nil {
-				return err
-			}
-			sh := m.Shape()
-			fmt.Fprintf(out,
-				"Figure 9/10 net (%s): %d places, %d immediate + %d deterministic + %d exponential transitions, %d banks, L2=%v"+"\n",
-				cfg.Name, sh.Places, sh.Immediate, sh.Deterministic, sh.Exponential, sh.Banks, sh.HasL2)
-		}
-		fmt.Fprintln(out)
 	case "spec":
-		for _, line := range core.Proposed().Datasheet() {
-			fmt.Fprintln(out, line)
-		}
-		fmt.Fprintln(out)
-	case "ablate-linesize":
-		r, err := experiments.AblateLineSize(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-linesize", r); err != nil {
-			return err
-		}
-	case "ablate-victim":
-		r, err := experiments.AblateVictimSize(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-victim", r); err != nil {
-			return err
-		}
-	case "ablate-unit":
-		r, err := experiments.AblateCoherenceUnit(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-unit", r); err != nil {
-			return err
-		}
-	case "ablate-scoreboard":
-		r, err := experiments.AblateScoreboard(opts, ms)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-scoreboard", r); err != nil {
-			return err
-		}
+		return sweep.Single(name, 0, func() (interface{}, error) {
+			var buf bytes.Buffer
+			for _, line := range core.Proposed().Datasheet() {
+				fmt.Fprintln(&buf, line)
+			}
+			fmt.Fprintln(&buf)
+			return buf.Bytes(), nil
+		}), nil
+	case "workloads":
+		return sweep.Single(name, 0, func() (interface{}, error) {
+			var buf bytes.Buffer
+			t := report.NewTable("Table 2: benchmark stand-ins",
+				"benchmark", "fp", "base CPI", "budget", "description")
+			for _, name := range workload.Names() {
+				w, err := workload.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				desc := w.Description
+				if len(desc) > 72 {
+					desc = desc[:69] + "..."
+				}
+				t.Row(w.Name, w.Float, w.BaseCPI, w.Budget, desc)
+			}
+			t.Render(&buf)
+			return buf.Bytes(), nil
+		}), nil
+	case "fig910":
+		return sweep.Single(name, 0, func() (interface{}, error) {
+			var buf bytes.Buffer
+			for _, cfg := range []cpumodel.SystemConfig{cpumodel.Integrated(), cpumodel.Reference()} {
+				m, err := cpumodel.Build(cfg, cpumodel.AppRates{
+					Name: "shape", BaseCPI: 1, LoadFrac: 0.25, StoreFrac: 0.1,
+					IHit: 0.95, LoadHit: 0.95, StoreHit: 0.95,
+					IL2Hit: 0.9, LoadL2Hit: 0.9, StoreL2Hit: 0.9,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sh := m.Shape()
+				fmt.Fprintf(&buf,
+					"Figure 9/10 net (%s): %d places, %d immediate + %d deterministic + %d exponential transitions, %d banks, L2=%v"+"\n",
+					cfg.Name, sh.Places, sh.Immediate, sh.Deterministic, sh.Exponential, sh.Banks, sh.HasL2)
+			}
+			fmt.Fprintln(&buf)
+			return buf.Bytes(), nil
+		}), nil
 	case "selftest":
-		r, err := selftest.Run(selftest.Config{WindowBytes: 256 << 10})
-		if err != nil {
-			return err
+		return sweep.Single(name, 0, func() (interface{}, error) {
+			var buf bytes.Buffer
+			r, err := selftest.Run(selftest.Config{WindowBytes: 256 << 10})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&buf, "built-in self test: passed=%v phase=%s instructions=%d window=%dKB fills=%d\n\n",
+				r.Passed, r.Phase, r.Instructions, r.MemoryBytes>>10, r.CacheFills)
+			return buf.Bytes(), nil
+		}), nil
+	}
+	j, err := experiments.JobFor(name, opts, ms)
+	if err != nil {
+		return sweep.Job{}, fmt.Errorf("unknown experiment %q", name)
+	}
+	return j, nil
+}
+
+// render writes one experiment's assembled result to out in the same
+// format the serial CLI has always produced.
+func render(out io.Writer, name string, v interface{}) error {
+	switch name {
+	case "cost", "fabric":
+		// rendered as plain tables even in -json mode, as before
+		v.(*report.Table).Render(out)
+		return nil
+	}
+	if b, ok := v.([]byte); ok {
+		_, err := out.Write(b)
+		return err
+	}
+	t, ok := v.(tabler)
+	if !ok {
+		return fmt.Errorf("experiment %q returned unrenderable %T", name, v)
+	}
+	if err := emit(out, name, t); err != nil {
+		return err
+	}
+	if !jsonMode {
+		if p, ok := v.(plotter); ok {
+			p.Plot().Render(out)
 		}
-		fmt.Fprintf(out, "built-in self test: passed=%v phase=%s instructions=%d window=%dKB fills=%d\n\n",
-			r.Passed, r.Phase, r.Instructions, r.MemoryBytes>>10, r.CacheFills)
-	case "scoma":
-		r, err := experiments.SCOMA(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "scoma", r); err != nil {
-			return err
-		}
-	case "fabric":
-		t, err := experiments.Fabric()
-		if err != nil {
-			return err
-		}
-		t.Render(out)
-	case "ablate-jouppi":
-		r, err := experiments.AblateJouppi(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-jouppi", r); err != nil {
-			return err
-		}
-	case "ablate-engines":
-		r, err := experiments.AblateEngines(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-engines", r); err != nil {
-			return err
-		}
-	case "ablate-inc":
-		r, err := experiments.AblateINCAssociativity(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(out, "ablate-inc", r); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
 }
 
 // tabler is any experiment result that can render itself.
 type tabler interface{ Table() *report.Table }
+
+// plotter marks results that also render an ASCII plot (fig11, fig12,
+// fig13..fig17).
+type plotter interface{ Plot() *report.Series }
 
 // emit writes a result as a table or, in -json mode, as indented JSON
 // tagged with the experiment name.

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"repro/internal/experiments"
@@ -21,6 +23,57 @@ func TestRunDispatcher(t *testing.T) {
 	}
 	if err := run("no-such-experiment", opts, ms); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// quickOpts is the CI-sized configuration the determinism tests sweep.
+func quickOpts() experiments.Options {
+	opts := experiments.Quick()
+	opts.Budget = 50_000
+	opts.GSPNInstr = 2_000
+	opts.Procs = []int{1, 2}
+	return opts
+}
+
+// sweepOutput runs a representative experiment mix through the worker
+// pool and returns the deterministic stream. A fresh MeasurementSet
+// per call makes every run recompute from its seeds.
+func sweepOutput(t *testing.T, workers int, opts experiments.Options) []byte {
+	t.Helper()
+	names := []string{"spec", "cost", "table1", "fig7", "table3", "fig13", "ablate-scoreboard", "fabric"}
+	ms := experiments.NewMeasurementSet(opts)
+	var buf bytes.Buffer
+	if err := runNames(names, opts, ms, workers, &buf, io.Discard); err != nil {
+		t.Fatalf("runNames(j=%d): %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepDeterminism: the sweep's experiment output is byte-identical
+// across worker counts (serial vs parallel) and across repeated
+// parallel runs of the same configuration (seed stability), in both
+// table and JSON modes.
+func TestSweepDeterminism(t *testing.T) {
+	opts := quickOpts()
+	serial := sweepOutput(t, 1, opts)
+	if len(serial) == 0 {
+		t.Fatal("serial sweep produced no output")
+	}
+	parallel := sweepOutput(t, 8, opts)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("-j 1 and -j 8 output differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+	again := sweepOutput(t, 8, opts)
+	if !bytes.Equal(parallel, again) {
+		t.Errorf("two -j 8 runs of the same configuration differ")
+	}
+
+	jsonMode = true
+	defer func() { jsonMode = false }()
+	j1 := sweepOutput(t, 1, opts)
+	j8 := sweepOutput(t, 8, opts)
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("JSON output differs between -j 1 and -j 8")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpsim"
 	"repro/internal/report"
 	"repro/internal/splash"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -40,41 +41,75 @@ type LineSizeResult struct{ Rows []LineSizeRow }
 // (tomcatv); and Section 5.6 — "increasing the line size will degrade
 // performance due to higher resultant cache conflicts".
 func AblateLineSize(o Options) (*LineSizeResult, error) {
-	lineSizes := []int{32, 64, 128, 256, 512, 1024}
-	res := &LineSizeResult{}
-	for _, name := range ablationBenches {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		caches := make([]*cache.SetAssoc, len(lineSizes))
-		for i, ls := range lineSizes {
-			caches[i] = cache.NewSetAssoc(fmt.Sprintf("16KB 2W %dB", ls),
-				16<<10, uint64(ls), 2)
-		}
-		sink := trace.SinkFunc(func(r trace.Ref) {
-			if r.Kind == trace.Ifetch {
-				return
-			}
-			for _, c := range caches {
-				c.Access(r.Addr, r.Kind)
-			}
-		})
-		budget := o.Budget
-		if budget <= 0 {
-			budget = w.Budget
-		}
-		if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
-			return nil, err
-		}
-		for i, ls := range lineSizes {
-			res.Rows = append(res.Rows, LineSizeRow{
-				Bench: name, LineBytes: ls,
-				MissPct: caches[i].Stats().Data().Percent(),
-			})
+	v, err := sweep.RunSerial(AblateLineSizeJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*LineSizeResult), nil
+}
+
+// AblateLineSizeJob enumerates the line-size ablation as one unit per
+// benchmark; each unit is one trace pass feeding every line size.
+func AblateLineSizeJob(o Options) sweep.Job {
+	units := make([]sweep.Unit, len(ablationBenches))
+	for i, name := range ablationBenches {
+		units[i] = sweep.Unit{
+			Name: "ablate-linesize/" + name,
+			Run:  func() (interface{}, error) { return ablateLineSizeBench(o, name) },
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "ablate-linesize", Units: units, Assemble: concatRows[LineSizeRow](func(rows []LineSizeRow) interface{} {
+		return &LineSizeResult{Rows: rows}
+	})}
+}
+
+// ablateLineSizeBench measures one benchmark at every line size.
+func ablateLineSizeBench(o Options, name string) ([]LineSizeRow, error) {
+	lineSizes := []int{32, 64, 128, 256, 512, 1024}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	caches := make([]*cache.SetAssoc, len(lineSizes))
+	for i, ls := range lineSizes {
+		caches[i] = cache.NewSetAssoc(fmt.Sprintf("16KB 2W %dB", ls),
+			16<<10, uint64(ls), 2)
+	}
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.Ifetch {
+			return
+		}
+		for _, c := range caches {
+			c.Access(r.Addr, r.Kind)
+		}
+	})
+	budget := o.Budget
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
+		return nil, err
+	}
+	rows := make([]LineSizeRow, len(lineSizes))
+	for i, ls := range lineSizes {
+		rows[i] = LineSizeRow{
+			Bench: name, LineBytes: ls,
+			MissPct: caches[i].Stats().Data().Percent(),
+		}
+	}
+	return rows, nil
+}
+
+// concatRows builds an Assemble function that concatenates per-unit
+// row slices (in unit order) and wraps them in a result value.
+func concatRows[T any](wrap func([]T) interface{}) func([]interface{}) (interface{}, error) {
+	return func(parts []interface{}) (interface{}, error) {
+		var rows []T
+		for _, p := range parts {
+			rows = append(rows, p.([]T)...)
+		}
+		return wrap(rows), nil
+	}
 }
 
 // Table renders the line-size ablation.
@@ -113,45 +148,67 @@ type VictimSizeResult struct{ Rows []VictimSizeRow }
 // paper's choice of 16 (one column's worth). Paper grounding: Section
 // 5.4 sizes the victim cache to exactly one 512 B column buffer.
 func AblateVictimSize(o Options) (*VictimSizeResult, error) {
-	entries := []int{0, 4, 8, 16, 32, 64}
-	res := &VictimSizeResult{}
-	for _, name := range []string{"101.tomcatv", "102.swim", "099.go"} {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		plain := cache.ProposedDCache()
-		withV := make([]*cache.WithVictim, 0, len(entries)-1)
-		for _, e := range entries[1:] {
-			withV = append(withV, cache.NewWithVictim(
-				cache.ProposedDCache(), cache.NewVictim(e, cache.VictimLineSize)))
-		}
-		sink := trace.SinkFunc(func(r trace.Ref) {
-			if r.Kind == trace.Ifetch {
-				return
-			}
-			plain.Access(r.Addr, r.Kind)
-			for _, c := range withV {
-				c.Access(r.Addr, r.Kind)
-			}
-		})
-		budget := o.Budget
-		if budget <= 0 {
-			budget = w.Budget
-		}
-		if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, VictimSizeRow{
-			Bench: name, Entries: 0, MissPct: plain.Stats().Data().Percent(),
-		})
-		for i, e := range entries[1:] {
-			res.Rows = append(res.Rows, VictimSizeRow{
-				Bench: name, Entries: e, MissPct: withV[i].Stats().Data().Percent(),
-			})
+	v, err := sweep.RunSerial(AblateVictimSizeJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*VictimSizeResult), nil
+}
+
+// AblateVictimSizeJob enumerates the victim-size ablation as one unit
+// per benchmark.
+func AblateVictimSizeJob(o Options) sweep.Job {
+	benches := []string{"101.tomcatv", "102.swim", "099.go"}
+	units := make([]sweep.Unit, len(benches))
+	for i, name := range benches {
+		units[i] = sweep.Unit{
+			Name: "ablate-victim/" + name,
+			Run:  func() (interface{}, error) { return ablateVictimBench(o, name) },
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "ablate-victim", Units: units, Assemble: concatRows[VictimSizeRow](func(rows []VictimSizeRow) interface{} {
+		return &VictimSizeResult{Rows: rows}
+	})}
+}
+
+// ablateVictimBench measures one benchmark at every victim size.
+func ablateVictimBench(o Options, name string) ([]VictimSizeRow, error) {
+	entries := []int{0, 4, 8, 16, 32, 64}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	plain := cache.ProposedDCache()
+	withV := make([]*cache.WithVictim, 0, len(entries)-1)
+	for _, e := range entries[1:] {
+		withV = append(withV, cache.NewWithVictim(
+			cache.ProposedDCache(), cache.NewVictim(e, cache.VictimLineSize)))
+	}
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.Ifetch {
+			return
+		}
+		plain.Access(r.Addr, r.Kind)
+		for _, c := range withV {
+			c.Access(r.Addr, r.Kind)
+		}
+	})
+	budget := o.Budget
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
+		return nil, err
+	}
+	rows := []VictimSizeRow{{
+		Bench: name, Entries: 0, MissPct: plain.Stats().Data().Percent(),
+	}}
+	for i, e := range entries[1:] {
+		rows = append(rows, VictimSizeRow{
+			Bench: name, Entries: e, MissPct: withV[i].Stats().Data().Percent(),
+		})
+	}
+	return rows, nil
 }
 
 // Table renders the victim-size ablation.
@@ -195,30 +252,65 @@ type UnitResult struct {
 // coherence units, because the false-sharing costs would outweigh the
 // prefetching benefits for most applications".
 func AblateCoherenceUnit(o Options) (*UnitResult, error) {
-	units := []uint64{32, 128, 512}
-	procs := 4
+	v, err := sweep.RunSerial(AblateCoherenceUnitJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*UnitResult), nil
+}
+
+// ablateUnitProcs is the processor count of the coherence-unit study.
+const ablateUnitProcs = 4
+
+// AblateCoherenceUnitJob enumerates the coherence-unit ablation as one
+// unit per SPLASH benchmark plus one for the false-sharing
+// microbenchmark.
+func AblateCoherenceUnitJob(o Options) sweep.Job {
+	benches := []string{"MP3D", "WATER", "OCEAN"}
+	var units []sweep.Unit
+	for _, name := range benches {
+		units = append(units, sweep.Unit{
+			Name: "ablate-unit/" + name,
+			Run:  func() (interface{}, error) { return ablateUnitBench(o, name) },
+		})
+	}
+	units = append(units, sweep.Unit{
+		Name: "ablate-unit/falseshare",
+		Run:  func() (interface{}, error) { return ablateUnitMicro() },
+	})
+	return sweep.Job{Name: "ablate-unit", Units: units, Assemble: concatRows[UnitRow](func(rows []UnitRow) interface{} {
+		return &UnitResult{Procs: ablateUnitProcs, Rows: rows}
+	})}
+}
+
+// ablateUnitBench runs one SPLASH benchmark at every coherence unit.
+func ablateUnitBench(o Options, name string) ([]UnitRow, error) {
 	sz := splash.Full()
 	if o.MPQuick {
 		sz = splash.Quick()
 	}
-	res := &UnitResult{Procs: procs}
-	for _, name := range []string{"MP3D", "WATER", "OCEAN"} {
-		b, err := splash.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, u := range units {
-			r := b.RunUnit(procs, coherence.IntegratedVictim, sz, u)
-			res.Rows = append(res.Rows, UnitRow{Bench: name, UnitBytes: u, Cycles: r.Cycles})
-		}
+	b, err := splash.ByName(name)
+	if err != nil {
+		return nil, err
 	}
-	// A false-sharing microbenchmark: each processor repeatedly updates
-	// its own 32 B counter, with all counters packed into one 512 B
-	// region. With 32 B units every processor owns its counter; with
-	// 512 B units the writes ping-pong ownership of the whole unit.
-	for _, u := range units {
-		m := coherence.NewConfiguredMachineUnit(coherence.IntegratedVictim, procs, u)
-		r := mpsim.Run(procs, m, mpsim.DefaultSyncCosts(), func(p *mpsim.Proc) {
+	var rows []UnitRow
+	for _, u := range []uint64{32, 128, 512} {
+		r := b.RunUnit(ablateUnitProcs, coherence.IntegratedVictim, sz, u)
+		rows = append(rows, UnitRow{Bench: name, UnitBytes: u, Cycles: r.Cycles})
+	}
+	return rows, nil
+}
+
+// ablateUnitMicro is a false-sharing microbenchmark: each processor
+// repeatedly updates its own 32 B counter, with all counters packed
+// into one 512 B region. With 32 B units every processor owns its
+// counter; with 512 B units the writes ping-pong ownership of the
+// whole unit.
+func ablateUnitMicro() ([]UnitRow, error) {
+	var rows []UnitRow
+	for _, u := range []uint64{32, 128, 512} {
+		m := coherence.NewConfiguredMachineUnit(coherence.IntegratedVictim, ablateUnitProcs, u)
+		r := mpsim.Run(ablateUnitProcs, m, mpsim.DefaultSyncCosts(), func(p *mpsim.Proc) {
 			addr := uint64(0x1000 + p.ID*32)
 			for i := 0; i < 400; i++ {
 				p.Read(addr)
@@ -226,9 +318,9 @@ func AblateCoherenceUnit(o Options) (*UnitResult, error) {
 				p.Write(addr)
 			}
 		})
-		res.Rows = append(res.Rows, UnitRow{Bench: "falseshare (micro)", UnitBytes: u, Cycles: r.Cycles})
+		rows = append(rows, UnitRow{Bench: "falseshare (micro)", UnitBytes: u, Cycles: r.Cycles})
 	}
-	return res, nil
+	return rows, nil
 }
 
 // Table renders the coherence-unit ablation.
@@ -272,29 +364,54 @@ type ScoreboardResult struct{ Rows []ScoreboardRow }
 // assumed the presence of scoreboarding logic for the integrated
 // system, therefore the rate of T23 was set [to] 1".
 func AblateScoreboard(o Options, ms *MeasurementSet) (*ScoreboardResult, error) {
+	v, err := sweep.RunSerial(AblateScoreboardJob(o, ms))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ScoreboardResult), nil
+}
+
+// AblateScoreboardJob enumerates the scoreboard ablation as one unit
+// per (benchmark, T23 rate) GSPN evaluation; the units share one
+// workload measurement through the single-flight MeasurementSet.
+func AblateScoreboardJob(o Options, ms *MeasurementSet) sweep.Job {
 	rates := []float64{0, 2, 1, 0.5, 0.25} // 0 = stall immediately
-	res := &ScoreboardResult{}
+	var units []sweep.Unit
 	for _, name := range []string{"126.gcc", "101.tomcatv"} {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		app := m.Rates(true, true)
 		for _, rate := range rates {
-			cfg := cpumodel.Integrated()
-			cfg.ScoreboardRate = rate
-			r, err := cpumodel.Evaluate(cfg, app, o.GSPNInstr, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, ScoreboardRow{Bench: name, Rate: rate, MemCPI: r.MemCPI})
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("ablate-scoreboard/%s/rate=%g", name, rate),
+				Seed: o.Seed,
+				Run:  func() (interface{}, error) { return ablateScoreboardPoint(o, ms, name, rate) },
+			})
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "ablate-scoreboard", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &ScoreboardResult{Rows: make([]ScoreboardRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(ScoreboardRow)
+		}
+		return res, nil
+	}}
+}
+
+// ablateScoreboardPoint evaluates one benchmark at one T23 rate.
+func ablateScoreboardPoint(o Options, ms *MeasurementSet, name string, rate float64) (ScoreboardRow, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return ScoreboardRow{}, err
+	}
+	m, err := ms.Get(w)
+	if err != nil {
+		return ScoreboardRow{}, err
+	}
+	cfg := cpumodel.Integrated()
+	cfg.ScoreboardRate = rate
+	r, err := cpumodel.Evaluate(cfg, m.Rates(true, true), o.GSPNInstr, o.Seed)
+	if err != nil {
+		return ScoreboardRow{}, err
+	}
+	return ScoreboardRow{Bench: name, Rate: rate, MemCPI: r.MemCPI}, nil
 }
 
 // Table renders the scoreboarding ablation.
@@ -334,6 +451,16 @@ type INCResult struct{ Rows []INCRow }
 // own INC is sized above the working sets for the same reason in
 // reverse (Section 6.1).
 func AblateINCAssociativity(o Options) (*INCResult, error) {
+	v, err := sweep.RunSerial(AblateINCAssociativityJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*INCResult), nil
+}
+
+// AblateINCAssociativityJob enumerates the INC ablation as one unit
+// per (associativity, benchmark) multiprocessor run.
+func AblateINCAssociativityJob(o Options) sweep.Job {
 	sz := splash.Full()
 	// Undersizing tracks the data set: small enough that the remote
 	// working set does not rattle around in capacity slack, large
@@ -343,22 +470,33 @@ func AblateINCAssociativity(o Options) (*INCResult, error) {
 		sz = splash.Quick()
 		smallINC = 16 << 10
 	}
-	res := &INCResult{}
+	var units []sweep.Unit
 	for _, ways := range []int{1, 2, 7} {
 		for _, name := range []string{"WATER", "LU"} {
-			b, err := splash.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			m := coherence.NewMachineINC(coherence.IntegratedVictim, 4, ways, smallINC)
-			r := b.RunMachine(4, m, sz)
-			res.Rows = append(res.Rows, INCRow{
-				Bench: name, Ways: ways,
-				RemoteLoads: m.RemoteLoads, Cycles: r.Cycles,
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("ablate-inc/%s/ways=%d", name, ways),
+				Run: func() (interface{}, error) {
+					b, err := splash.ByName(name)
+					if err != nil {
+						return nil, err
+					}
+					m := coherence.NewMachineINC(coherence.IntegratedVictim, 4, ways, smallINC)
+					r := b.RunMachine(4, m, sz)
+					return INCRow{
+						Bench: name, Ways: ways,
+						RemoteLoads: m.RemoteLoads, Cycles: r.Cycles,
+					}, nil
+				},
 			})
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "ablate-inc", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &INCResult{Rows: make([]INCRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(INCRow)
+		}
+		return res, nil
+	}}
 }
 
 // Table renders the INC ablation.
@@ -392,29 +530,50 @@ type EngineResult struct {
 // queue and what a fourth would buy, using the occupancy model of
 // internal/coherence/engines.go.
 func AblateEngines(o Options) (*EngineResult, error) {
+	v, err := sweep.RunSerial(AblateEnginesJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*EngineResult), nil
+}
+
+// AblateEnginesJob enumerates the protocol-engine ablation as one unit
+// per (benchmark, engine count) multiprocessor run.
+func AblateEnginesJob(o Options) sweep.Job {
 	procs := 8
 	sz := splash.Full()
 	if o.MPQuick {
 		sz = splash.Quick()
 		procs = 4
 	}
-	res := &EngineResult{Procs: procs}
+	var units []sweep.Unit
 	for _, name := range []string{"MP3D", "WATER"} {
-		b, err := splash.ByName(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, engines := range []int{1, 2, 4} {
-			m := coherence.NewConfiguredMachine(coherence.IntegratedVictim, procs)
-			m.EnableEngines(engines)
-			r := b.RunMachine(procs, m, sz)
-			q, _ := m.EngineStats()
-			res.Rows = append(res.Rows, EngineRow{
-				Bench: name, Engines: engines, Cycles: r.Cycles, QueueCycles: q,
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("ablate-engines/%s/engines=%d", name, engines),
+				Run: func() (interface{}, error) {
+					b, err := splash.ByName(name)
+					if err != nil {
+						return nil, err
+					}
+					m := coherence.NewConfiguredMachine(coherence.IntegratedVictim, procs)
+					m.EnableEngines(engines)
+					r := b.RunMachine(procs, m, sz)
+					q, _ := m.EngineStats()
+					return EngineRow{
+						Bench: name, Engines: engines, Cycles: r.Cycles, QueueCycles: q,
+					}, nil
+				},
 			})
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "ablate-engines", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &EngineResult{Procs: procs, Rows: make([]EngineRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(EngineRow)
+		}
+		return res, nil
+	}}
 }
 
 // Table renders the engine ablation.
@@ -448,38 +607,63 @@ type JouppiResult struct{ Rows []JouppiRow }
 // blocks — is the structure that pays off; this experiment quantifies
 // that design rationale.
 func AblateJouppi(o Options) (*JouppiResult, error) {
-	res := &JouppiResult{}
-	for _, name := range []string{"101.tomcatv", "102.swim", "104.hydro2d", "099.go"} {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		plain := cache.ProposedDCache()
-		vic := cache.Proposed()
-		str := cache.NewWithStream(cache.ProposedDCache(), cache.NewStreamBuffer(4, 4))
-		sink := trace.SinkFunc(func(r trace.Ref) {
-			if r.Kind == trace.Ifetch {
-				return
-			}
-			plain.Access(r.Addr, r.Kind)
-			vic.Access(r.Addr, r.Kind)
-			str.Access(r.Addr, r.Kind)
-		})
-		budget := o.Budget
-		if budget <= 0 {
-			budget = w.Budget
-		}
-		if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, JouppiRow{
-			Bench:     name,
-			PlainPct:  plain.Stats().Data().Percent(),
-			VictimPct: vic.Stats().Data().Percent(),
-			StreamPct: str.Stats().Data().Percent(),
-		})
+	v, err := sweep.RunSerial(AblateJouppiJob(o))
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return v.(*JouppiResult), nil
+}
+
+// AblateJouppiJob enumerates the Jouppi comparison as one unit per
+// benchmark; each unit is one trace pass feeding all three structures.
+func AblateJouppiJob(o Options) sweep.Job {
+	benches := []string{"101.tomcatv", "102.swim", "104.hydro2d", "099.go"}
+	units := make([]sweep.Unit, len(benches))
+	for i, name := range benches {
+		units[i] = sweep.Unit{
+			Name: "ablate-jouppi/" + name,
+			Run:  func() (interface{}, error) { return ablateJouppiBench(o, name) },
+		}
+	}
+	return sweep.Job{Name: "ablate-jouppi", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &JouppiResult{Rows: make([]JouppiRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(JouppiRow)
+		}
+		return res, nil
+	}}
+}
+
+// ablateJouppiBench measures one benchmark with all three structures.
+func ablateJouppiBench(o Options, name string) (JouppiRow, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return JouppiRow{}, err
+	}
+	plain := cache.ProposedDCache()
+	vic := cache.Proposed()
+	str := cache.NewWithStream(cache.ProposedDCache(), cache.NewStreamBuffer(4, 4))
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.Ifetch {
+			return
+		}
+		plain.Access(r.Addr, r.Kind)
+		vic.Access(r.Addr, r.Kind)
+		str.Access(r.Addr, r.Kind)
+	})
+	budget := o.Budget
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
+		return JouppiRow{}, err
+	}
+	return JouppiRow{
+		Bench:     name,
+		PlainPct:  plain.Stats().Data().Percent(),
+		VictimPct: vic.Stats().Data().Percent(),
+		StreamPct: str.Stats().Data().Percent(),
+	}, nil
 }
 
 // Table renders the Jouppi-structure comparison.

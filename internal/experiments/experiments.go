@@ -11,11 +11,13 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cpumodel"
 	"repro/internal/paperref"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -56,27 +58,41 @@ func Quick() Options {
 
 // MeasurementSet caches one cache-measurement run per workload so the
 // Figure 7/8 and Table 3/4 experiments share a single simulation pass.
+// It is concurrency-safe with single-flight semantics: when several
+// sweep units request the same workload at once, exactly one goroutine
+// simulates it and the others block until that result is ready, so a
+// workload is never simulated twice.
 type MeasurementSet struct {
 	opts Options
-	m    map[string]*workload.Measurement
+	mu   sync.Mutex
+	m    map[string]*msEntry
+}
+
+// msEntry is one workload's single-flight slot.
+type msEntry struct {
+	once sync.Once
+	m    *workload.Measurement
+	err  error
 }
 
 // NewMeasurementSet creates an empty cache keyed by the options.
 func NewMeasurementSet(o Options) *MeasurementSet {
-	return &MeasurementSet{opts: o, m: make(map[string]*workload.Measurement)}
+	return &MeasurementSet{opts: o, m: make(map[string]*msEntry)}
 }
 
-// Get measures the workload (once).
+// Get measures the workload (once, even under concurrent callers).
 func (s *MeasurementSet) Get(w workload.Workload) (*workload.Measurement, error) {
-	if m, ok := s.m[w.Name]; ok {
-		return m, nil
+	s.mu.Lock()
+	e, ok := s.m[w.Name]
+	if !ok {
+		e = &msEntry{}
+		s.m[w.Name] = e
 	}
-	m, err := workload.Run(w, s.opts.Budget)
-	if err != nil {
-		return nil, err
-	}
-	s.m[w.Name] = m
-	return m, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.m, e.err = workload.Run(w, s.opts.Budget)
+	})
+	return e.m, e.err
 }
 
 // ---------------------------------------------------------------------
@@ -97,23 +113,47 @@ type Fig7Result struct {
 
 // Fig7 measures instruction-cache miss rates for every workload.
 func Fig7(o Options, ms *MeasurementSet) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for _, w := range workload.All() {
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig7Row{
-			Bench:    w.Name,
-			Proposed: m.Caches.PropI.Stats().Ifetch.Percent(),
-			Conv:     map[int]float64{},
-		}
-		for kb, c := range m.Caches.ConvI {
-			row.Conv[kb] = c.Stats().Ifetch.Percent()
-		}
-		res.Rows = append(res.Rows, row)
+	v, err := sweep.RunSerial(Fig7Job(o, ms))
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return v.(*Fig7Result), nil
+}
+
+// Fig7Job enumerates Figure 7 as one unit per workload.
+func Fig7Job(o Options, ms *MeasurementSet) sweep.Job {
+	ws := workload.All()
+	units := make([]sweep.Unit, len(ws))
+	for i, w := range ws {
+		units[i] = sweep.Unit{
+			Name: "fig7/" + w.Name,
+			Run:  func() (interface{}, error) { return fig7Row(ms, w) },
+		}
+	}
+	return sweep.Job{Name: "fig7", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &Fig7Result{Rows: make([]Fig7Row, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(Fig7Row)
+		}
+		return res, nil
+	}}
+}
+
+// fig7Row measures one workload's I-cache miss rates.
+func fig7Row(ms *MeasurementSet, w workload.Workload) (Fig7Row, error) {
+	m, err := ms.Get(w)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	row := Fig7Row{
+		Bench:    w.Name,
+		Proposed: m.Caches.PropI.Stats().Ifetch.Percent(),
+		Conv:     map[int]float64{},
+	}
+	for kb, c := range m.Caches.ConvI {
+		row.Conv[kb] = c.Stats().Ifetch.Percent()
+	}
+	return row, nil
 }
 
 // Table renders the Figure 7 data.
@@ -151,31 +191,55 @@ type Fig8Result struct {
 
 // Fig8 measures data-cache miss rates for every workload.
 func Fig8(o Options, ms *MeasurementSet) (*Fig8Result, error) {
-	res := &Fig8Result{}
-	for _, w := range workload.All() {
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		cs := m.Caches
-		row := Fig8Row{
-			Bench:     w.Name,
-			PropLoad:  cs.PropD.Stats().Load.Percent(),
-			PropStore: cs.PropD.Stats().Store.Percent(),
-			VicLoad:   cs.PropDVictim.Stats().Load.Percent(),
-			VicStore:  cs.PropDVictim.Stats().Store.Percent(),
-			ConvDM:    map[int]float64{},
-			Conv2W:    map[int]float64{},
-		}
-		for kb, c := range cs.ConvD1 {
-			row.ConvDM[kb] = c.Stats().Data().Percent()
-		}
-		for kb, c := range cs.ConvD2 {
-			row.Conv2W[kb] = c.Stats().Data().Percent()
-		}
-		res.Rows = append(res.Rows, row)
+	v, err := sweep.RunSerial(Fig8Job(o, ms))
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return v.(*Fig8Result), nil
+}
+
+// Fig8Job enumerates Figure 8 as one unit per workload.
+func Fig8Job(o Options, ms *MeasurementSet) sweep.Job {
+	ws := workload.All()
+	units := make([]sweep.Unit, len(ws))
+	for i, w := range ws {
+		units[i] = sweep.Unit{
+			Name: "fig8/" + w.Name,
+			Run:  func() (interface{}, error) { return fig8Row(ms, w) },
+		}
+	}
+	return sweep.Job{Name: "fig8", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &Fig8Result{Rows: make([]Fig8Row, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(Fig8Row)
+		}
+		return res, nil
+	}}
+}
+
+// fig8Row measures one workload's D-cache miss rates.
+func fig8Row(ms *MeasurementSet, w workload.Workload) (Fig8Row, error) {
+	m, err := ms.Get(w)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	cs := m.Caches
+	row := Fig8Row{
+		Bench:     w.Name,
+		PropLoad:  cs.PropD.Stats().Load.Percent(),
+		PropStore: cs.PropD.Stats().Store.Percent(),
+		VicLoad:   cs.PropDVictim.Stats().Load.Percent(),
+		VicStore:  cs.PropDVictim.Stats().Store.Percent(),
+		ConvDM:    map[int]float64{},
+		Conv2W:    map[int]float64{},
+	}
+	for kb, c := range cs.ConvD1 {
+		row.ConvDM[kb] = c.Stats().Data().Percent()
+	}
+	for kb, c := range cs.ConvD2 {
+		row.Conv2W[kb] = c.Stats().Data().Percent()
+	}
+	return row, nil
 }
 
 // Table renders the Figure 8 data.
@@ -221,41 +285,70 @@ type CPIResult struct {
 // Table34 evaluates the Spec'95 CPI table with or without the victim
 // cache (Table 4 / Table 3 respectively).
 func Table34(o Options, ms *MeasurementSet, victim bool) (*CPIResult, error) {
-	res := &CPIResult{Victim: victim}
-	for _, w := range workload.Spec() {
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		rates := m.Rates(true, victim)
-		r, err := cpumodel.Evaluate(cpumodel.Integrated(), rates, o.GSPNInstr, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		ref := paperref.Tables34[w.Name]
-		row := CPIRow{
-			Bench:     w.Name,
-			BaseCPI:   rates.BaseCPI,
-			MemCPI:    r.MemCPI,
-			TotalCPI:  r.TotalCPI,
-			BankUtilz: r.BankUtilization,
-		}
-		if w.SpecCal > 0 {
-			row.SpecRatio = w.SpecCal / r.TotalCPI
-		}
-		if victim {
-			row.PaperMemCPI = ref.TotalVictim - ref.BaseCPI
-			row.PaperTotalCPI = ref.TotalVictim
-			row.PaperRatio = ref.SpecRatioVictim
-			row.Alpha21164 = ref.Alpha21164
-		} else {
-			row.PaperMemCPI = ref.MemNoVictim
-			row.PaperTotalCPI = ref.BaseCPI + ref.MemNoVictim
-			row.PaperRatio = ref.SpecRatioNoVictim
-		}
-		res.Rows = append(res.Rows, row)
+	v, err := sweep.RunSerial(Table34Job(o, ms, victim))
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return v.(*CPIResult), nil
+}
+
+// Table34Job enumerates Table 3 or 4 as one unit per SPEC workload.
+func Table34Job(o Options, ms *MeasurementSet, victim bool) sweep.Job {
+	name := "table3"
+	if victim {
+		name = "table4"
+	}
+	ws := workload.Spec()
+	units := make([]sweep.Unit, len(ws))
+	for i, w := range ws {
+		units[i] = sweep.Unit{
+			Name: name + "/" + w.Name,
+			Seed: o.Seed,
+			Run:  func() (interface{}, error) { return cpiRow(o, ms, w, victim) },
+		}
+	}
+	return sweep.Job{Name: name, Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &CPIResult{Victim: victim, Rows: make([]CPIRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(CPIRow)
+		}
+		return res, nil
+	}}
+}
+
+// cpiRow evaluates one workload's CPI decomposition through the GSPN.
+func cpiRow(o Options, ms *MeasurementSet, w workload.Workload, victim bool) (CPIRow, error) {
+	m, err := ms.Get(w)
+	if err != nil {
+		return CPIRow{}, err
+	}
+	rates := m.Rates(true, victim)
+	r, err := cpumodel.Evaluate(cpumodel.Integrated(), rates, o.GSPNInstr, o.Seed)
+	if err != nil {
+		return CPIRow{}, err
+	}
+	ref := paperref.Tables34[w.Name]
+	row := CPIRow{
+		Bench:     w.Name,
+		BaseCPI:   rates.BaseCPI,
+		MemCPI:    r.MemCPI,
+		TotalCPI:  r.TotalCPI,
+		BankUtilz: r.BankUtilization,
+	}
+	if w.SpecCal > 0 {
+		row.SpecRatio = w.SpecCal / r.TotalCPI
+	}
+	if victim {
+		row.PaperMemCPI = ref.TotalVictim - ref.BaseCPI
+		row.PaperTotalCPI = ref.TotalVictim
+		row.PaperRatio = ref.SpecRatioVictim
+		row.Alpha21164 = ref.Alpha21164
+	} else {
+		row.PaperMemCPI = ref.MemNoVictim
+		row.PaperTotalCPI = ref.BaseCPI + ref.MemNoVictim
+		row.PaperRatio = ref.SpecRatioNoVictim
+	}
+	return row, nil
 }
 
 // GeoMeans returns the SPECint95/SPECfp95-style geometric means of the

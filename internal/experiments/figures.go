@@ -7,6 +7,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/paperref"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -35,66 +36,120 @@ var fig1112Benches = []string{"141.apsi", "126.gcc"}
 // Fig11 sweeps second-level-cache and memory latency for the
 // conventional reference CPU (141.apsi and 126.gcc, as in the paper).
 func Fig11(o Options, ms *MeasurementSet) (*LatencyResult, error) {
-	res := &LatencyResult{Conventional: true}
-	slcLats := []float64{2, 4, 6, 10, 14, 20}
-	memLats := []float64{6, 12, 20, 30, 40, 60}
-	for _, name := range fig1112Benches {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		rates := m.Rates(false, false)
-		for _, slc := range slcLats {
-			for _, mem := range memLats {
-				cfg := cpumodel.Reference()
-				cfg.L2Cycles = slc
-				cfg.MemCycles = mem
-				cfg.PrechargeCycles = mem / 2
-				r, err := cpumodel.Evaluate(cfg, rates, o.GSPNInstr, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				res.Points = append(res.Points, LatencyPoint{
-					Bench: name, SLCCycles: slc, MemCycles: mem, CPI: r.TotalCPI,
-				})
-			}
-		}
+	v, err := sweep.RunSerial(Fig11Job(o, ms))
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return v.(*LatencyResult), nil
 }
 
-// Fig12 sweeps memory latency for the integrated CPU.
-func Fig12(o Options, ms *MeasurementSet) (*LatencyResult, error) {
-	res := &LatencyResult{}
-	memLats := []float64{2, 4, 6, 8, 10, 14, 20}
-	for _, name := range fig1112Benches {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
+// Fig11Job enumerates Figure 11 as one unit per benchmark; each unit
+// runs that benchmark's full latency grid through the GSPN.
+func Fig11Job(o Options, ms *MeasurementSet) sweep.Job {
+	units := make([]sweep.Unit, len(fig1112Benches))
+	for i, name := range fig1112Benches {
+		units[i] = sweep.Unit{
+			Name: "fig11/" + name,
+			Seed: o.Seed,
+			Run:  func() (interface{}, error) { return fig11Bench(o, ms, name) },
 		}
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
+	}
+	return sweep.Job{Name: "fig11", Units: units,
+		Assemble: assembleLatency(true)}
+}
+
+// assembleLatency concatenates per-benchmark latency points.
+func assembleLatency(conventional bool) func([]interface{}) (interface{}, error) {
+	return func(parts []interface{}) (interface{}, error) {
+		res := &LatencyResult{Conventional: conventional}
+		for _, p := range parts {
+			res.Points = append(res.Points, p.([]LatencyPoint)...)
 		}
-		rates := m.Rates(true, true)
+		return res, nil
+	}
+}
+
+// fig11Bench runs one benchmark's SLC × memory latency grid.
+func fig11Bench(o Options, ms *MeasurementSet, name string) ([]LatencyPoint, error) {
+	slcLats := []float64{2, 4, 6, 10, 14, 20}
+	memLats := []float64{6, 12, 20, 30, 40, 60}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ms.Get(w)
+	if err != nil {
+		return nil, err
+	}
+	rates := m.Rates(false, false)
+	var points []LatencyPoint
+	for _, slc := range slcLats {
 		for _, mem := range memLats {
-			cfg := cpumodel.Integrated()
+			cfg := cpumodel.Reference()
+			cfg.L2Cycles = slc
 			cfg.MemCycles = mem
 			cfg.PrechargeCycles = mem / 2
 			r, err := cpumodel.Evaluate(cfg, rates, o.GSPNInstr, o.Seed)
 			if err != nil {
 				return nil, err
 			}
-			res.Points = append(res.Points, LatencyPoint{
-				Bench: name, MemCycles: mem, CPI: r.TotalCPI,
+			points = append(points, LatencyPoint{
+				Bench: name, SLCCycles: slc, MemCycles: mem, CPI: r.TotalCPI,
 			})
 		}
 	}
-	return res, nil
+	return points, nil
+}
+
+// Fig12 sweeps memory latency for the integrated CPU.
+func Fig12(o Options, ms *MeasurementSet) (*LatencyResult, error) {
+	v, err := sweep.RunSerial(Fig12Job(o, ms))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*LatencyResult), nil
+}
+
+// Fig12Job enumerates Figure 12 as one unit per benchmark.
+func Fig12Job(o Options, ms *MeasurementSet) sweep.Job {
+	units := make([]sweep.Unit, len(fig1112Benches))
+	for i, name := range fig1112Benches {
+		units[i] = sweep.Unit{
+			Name: "fig12/" + name,
+			Seed: o.Seed,
+			Run:  func() (interface{}, error) { return fig12Bench(o, ms, name) },
+		}
+	}
+	return sweep.Job{Name: "fig12", Units: units,
+		Assemble: assembleLatency(false)}
+}
+
+// fig12Bench runs one benchmark's memory-latency sweep.
+func fig12Bench(o Options, ms *MeasurementSet, name string) ([]LatencyPoint, error) {
+	memLats := []float64{2, 4, 6, 8, 10, 14, 20}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ms.Get(w)
+	if err != nil {
+		return nil, err
+	}
+	rates := m.Rates(true, true)
+	var points []LatencyPoint
+	for _, mem := range memLats {
+		cfg := cpumodel.Integrated()
+		cfg.MemCycles = mem
+		cfg.PrechargeCycles = mem / 2
+		r, err := cpumodel.Evaluate(cfg, rates, o.GSPNInstr, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, LatencyPoint{
+			Bench: name, MemCycles: mem, CPI: r.TotalCPI,
+		})
+	}
+	return points, nil
 }
 
 // Table renders a latency sweep.
@@ -147,48 +202,73 @@ type BankResult struct{ Rows []BankRow }
 // Banks evaluates 4/8/16 banks for the integrated system and 2-8 for
 // the conventional reference, reporting CPI and bank utilisation.
 func Banks(o Options, ms *MeasurementSet) (*BankResult, error) {
-	res := &BankResult{}
-	benches := []string{"126.gcc", "102.swim"}
-	for _, name := range benches {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		m, err := ms.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		intRates := m.Rates(true, true)
-		refRates := m.Rates(false, false)
-		const seeds = 5
+	v, err := sweep.RunSerial(BanksJob(o, ms))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*BankResult), nil
+}
+
+// BanksJob enumerates the bank study as one unit per
+// (benchmark, system, bank count) ensemble — the 5-seed Monte-Carlo
+// evaluations are the expensive part and they are all independent.
+func BanksJob(o Options, ms *MeasurementSet) sweep.Job {
+	var units []sweep.Unit
+	for _, name := range []string{"126.gcc", "102.swim"} {
 		for _, b := range []int{4, 8, 16} {
-			cfg := cpumodel.Integrated()
-			cfg.Banks = b
-			e, err := cpumodel.EvaluateN(cfg, intRates, o.GSPNInstr, seeds)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, BankRow{
-				Bench: name, Integrated: true, Banks: b,
-				MemCPI: e.MemCPI.Mean(), MemCPICI: e.MemCPI.CI95(),
-				Utilization: e.BankUtil.Mean(),
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("banks/%s/integrated/%d", name, b),
+				Seed: o.Seed,
+				Run:  func() (interface{}, error) { return bankRow(o, ms, name, true, b) },
 			})
 		}
 		for _, b := range []int{2, 4, 8} {
-			cfg := cpumodel.Reference()
-			cfg.Banks = b
-			e, err := cpumodel.EvaluateN(cfg, refRates, o.GSPNInstr, seeds)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, BankRow{
-				Bench: name, Integrated: false, Banks: b,
-				MemCPI: e.MemCPI.Mean(), MemCPICI: e.MemCPI.CI95(),
-				Utilization: e.BankUtil.Mean(),
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("banks/%s/conventional/%d", name, b),
+				Seed: o.Seed,
+				Run:  func() (interface{}, error) { return bankRow(o, ms, name, false, b) },
 			})
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "banks", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &BankResult{Rows: make([]BankRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(BankRow)
+		}
+		return res, nil
+	}}
+}
+
+// bankRow runs one 5-seed ensemble at the given bank count.
+func bankRow(o Options, ms *MeasurementSet, name string, integrated bool, banks int) (BankRow, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return BankRow{}, err
+	}
+	m, err := ms.Get(w)
+	if err != nil {
+		return BankRow{}, err
+	}
+	const seeds = 5
+	var cfg cpumodel.SystemConfig
+	var rates cpumodel.AppRates
+	if integrated {
+		cfg = cpumodel.Integrated()
+		rates = m.Rates(true, true)
+	} else {
+		cfg = cpumodel.Reference()
+		rates = m.Rates(false, false)
+	}
+	cfg.Banks = banks
+	e, err := cpumodel.EvaluateN(cfg, rates, o.GSPNInstr, seeds)
+	if err != nil {
+		return BankRow{}, err
+	}
+	return BankRow{
+		Bench: name, Integrated: integrated, Banks: banks,
+		MemCPI: e.MemCPI.Mean(), MemCPICI: e.MemCPI.CI95(),
+		Utilization: e.BankUtil.Mean(),
+	}, nil
 }
 
 // Table renders the bank study.
@@ -229,42 +309,68 @@ type Table1Result struct{ Rows []Table1Row }
 // Table1 runs the Synopsys stand-in workload through the SS-5 and
 // SS-10/61 hierarchy models and compares with the published run times.
 func Table1(o Options) (*Table1Result, error) {
-	w, err := workload.ByName("synopsys")
+	v, err := sweep.RunSerial(Table1Job(o))
 	if err != nil {
 		return nil, err
+	}
+	return v.(*Table1Result), nil
+}
+
+// Table1Job enumerates Table 1 as one unit per machine model; the
+// relative column needs both estimates, so it is computed at assembly.
+func Table1Job(o Options) sweep.Job {
+	builders := []func() *memsys.Hierarchy{memsys.SS5, memsys.SS10}
+	labels := []string{"ss5", "ss10"}
+	units := make([]sweep.Unit, len(builders))
+	for i, build := range builders {
+		units[i] = sweep.Unit{
+			Name: "table1/" + labels[i],
+			Run: func() (interface{}, error) {
+				return table1Estimate(o, build())
+			},
+		}
+	}
+	return sweep.Job{Name: "table1", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		ests := make([]memsys.RunEstimate, len(parts))
+		for i, p := range parts {
+			ests[i] = p.(memsys.RunEstimate)
+		}
+		best := ests[0].NsPerInstr
+		for _, e := range ests {
+			if e.NsPerInstr < best {
+				best = e.NsPerInstr
+			}
+		}
+		res := &Table1Result{}
+		for i, pub := range paperref.Table1 {
+			res.Rows = append(res.Rows, Table1Row{
+				Machine:        pub.Machine,
+				SpecInt92:      pub.SpecInt92,
+				SpecFp92:       pub.SpecFp92,
+				PaperSynopsys:  pub.SynopsysMins,
+				ModelNsPerInst: ests[i].NsPerInstr,
+				ModelRelative:  ests[i].NsPerInstr / best,
+			})
+		}
+		return res, nil
+	}}
+}
+
+// table1Estimate runs the Synopsys stand-in on one hierarchy model.
+func table1Estimate(o Options, h *memsys.Hierarchy) (memsys.RunEstimate, error) {
+	w, err := workload.ByName("synopsys")
+	if err != nil {
+		return memsys.RunEstimate{}, err
 	}
 	budget := o.Budget
 	if budget <= 0 {
 		budget = w.Budget
 	}
-	machines := []*memsys.Hierarchy{memsys.SS5(), memsys.SS10()}
-	ests := make([]memsys.RunEstimate, len(machines))
-	for i, h := range machines {
-		est := &memsys.Estimator{H: h}
-		prog := w.Build()
-		if _, err := vm.RunProgram(prog, est, budget); err != nil {
-			return nil, err
-		}
-		ests[i] = est.Estimate()
+	est := &memsys.Estimator{H: h}
+	if _, err := vm.RunProgram(w.Build(), est, budget); err != nil {
+		return memsys.RunEstimate{}, err
 	}
-	best := ests[0].NsPerInstr
-	for _, e := range ests {
-		if e.NsPerInstr < best {
-			best = e.NsPerInstr
-		}
-	}
-	res := &Table1Result{}
-	for i, pub := range paperref.Table1 {
-		res.Rows = append(res.Rows, Table1Row{
-			Machine:        pub.Machine,
-			SpecInt92:      pub.SpecInt92,
-			SpecFp92:       pub.SpecFp92,
-			PaperSynopsys:  pub.SynopsysMins,
-			ModelNsPerInst: ests[i].NsPerInstr,
-			ModelRelative:  ests[i].NsPerInstr / best,
-		})
-	}
-	return res, nil
+	return est.Estimate(), nil
 }
 
 // Table renders the Table 1 reproduction.
@@ -297,30 +403,64 @@ type Fig2Result struct {
 // Fig2 measures the stride/size latency surface on the SS-5 and
 // SS-10/61 models.
 func Fig2(o Options) (*Fig2Result, error) {
-	sizes := []uint64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	strides := []uint64{16, 128, 512, 4096}
-	res := &Fig2Result{
-		Machines: []string{"SS-5", "SS-10/61", "Integrated"},
-		Sizes:    sizes,
-		Strides:  strides,
-		AvgNs:    map[string]map[uint64]map[uint64]float64{},
+	v, err := sweep.RunSerial(Fig2Job(o))
+	if err != nil {
+		return nil, err
 	}
-	// The integrated device is not part of the paper's measured
-	// Figure 2, but plotting it on the same axes is the whole argument:
-	// a flat ~30 ns line where both workstations climb.
-	for _, h := range []*memsys.Hierarchy{memsys.SS5(), memsys.SS10(), memsys.Integrated()} {
-		res.AvgNs[h.Name] = map[uint64]map[uint64]float64{}
-		for _, sz := range sizes {
-			res.AvgNs[h.Name][sz] = map[uint64]float64{}
-			for _, st := range strides {
-				if st >= sz {
-					continue
+	return v.(*Fig2Result), nil
+}
+
+// fig2Surface is one machine's slice of the Figure 2 surface.
+type fig2Surface struct {
+	name  string
+	avgNs map[uint64]map[uint64]float64
+}
+
+var (
+	fig2Sizes   = []uint64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	fig2Strides = []uint64{16, 128, 512, 4096}
+)
+
+// Fig2Job enumerates Figure 2 as one unit per machine model.
+// The integrated device is not part of the paper's measured Figure 2,
+// but plotting it on the same axes is the whole argument: a flat
+// ~30 ns line where both workstations climb.
+func Fig2Job(o Options) sweep.Job {
+	builders := []func() *memsys.Hierarchy{memsys.SS5, memsys.SS10, memsys.Integrated}
+	labels := []string{"ss5", "ss10", "integrated"}
+	units := make([]sweep.Unit, len(builders))
+	for i, build := range builders {
+		units[i] = sweep.Unit{
+			Name: "fig2/" + labels[i],
+			Run: func() (interface{}, error) {
+				h := build()
+				s := fig2Surface{name: h.Name, avgNs: map[uint64]map[uint64]float64{}}
+				for _, sz := range fig2Sizes {
+					s.avgNs[sz] = map[uint64]float64{}
+					for _, st := range fig2Strides {
+						if st >= sz {
+							continue
+						}
+						s.avgNs[sz][st] = h.Walk(sz, st).AvgNs
+					}
 				}
-				res.AvgNs[h.Name][sz][st] = h.Walk(sz, st).AvgNs
-			}
+				return s, nil
+			},
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: "fig2", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &Fig2Result{
+			Sizes:   fig2Sizes,
+			Strides: fig2Strides,
+			AvgNs:   map[string]map[uint64]map[uint64]float64{},
+		}
+		for _, p := range parts {
+			s := p.(fig2Surface)
+			res.Machines = append(res.Machines, s.name)
+			res.AvgNs[s.name] = s.avgNs
+		}
+		return res, nil
+	}}
 }
 
 // Table renders the latency surface.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/report"
 	"repro/internal/splash"
+	"repro/internal/sweep"
 )
 
 // ---------------------------------------------------------------------
@@ -34,37 +35,73 @@ var splashFigures = map[int]string{
 
 // SplashFigure runs one of Figures 13–17 (figure number 13..17).
 func SplashFigure(o Options, figure int) (*SplashResult, error) {
+	j, err := SplashFigureJob(o, figure)
+	if err != nil {
+		return nil, err
+	}
+	v, err := sweep.RunSerial(j)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SplashResult), nil
+}
+
+// SplashFigureJob enumerates one of Figures 13–17 as sweep units.
+func SplashFigureJob(o Options, figure int) (sweep.Job, error) {
 	name, ok := splashFigures[figure]
 	if !ok {
-		return nil, fmt.Errorf("experiments: no SPLASH figure %d (want 13-17)", figure)
+		return sweep.Job{}, fmt.Errorf("experiments: no SPLASH figure %d (want 13-17)", figure)
 	}
-	return SplashByName(o, name)
+	return SplashNameJob(o, fmt.Sprintf("fig%d", figure), name), nil
 }
 
 // SplashByName runs the named SPLASH benchmark over all processor
 // counts and the three system configurations.
 func SplashByName(o Options, name string) (*SplashResult, error) {
-	b, err := splash.ByName(name)
+	v, err := sweep.RunSerial(SplashNameJob(o, "splash-"+name, name))
 	if err != nil {
 		return nil, err
 	}
+	return v.(*SplashResult), nil
+}
+
+// SplashNameJob enumerates one benchmark's SPLASH figure as one unit
+// per (processor count, machine configuration) simulation — the
+// per-processor-count multiprocessor runs are the dominant cost of
+// `iramsim all` and they are all independent.
+func SplashNameJob(o Options, jobName, bench string) sweep.Job {
 	sz := splash.Full()
 	if o.MPQuick {
 		sz = splash.Quick()
 	}
-	res := &SplashResult{Bench: name}
 	configs := []coherence.Config{
 		coherence.ReferenceCCNUMA,
 		coherence.IntegratedPlain,
 		coherence.IntegratedVictim,
 	}
+	var units []sweep.Unit
 	for _, np := range o.Procs {
 		for _, cfg := range configs {
-			r := b.Run(np, cfg, sz)
-			res.Points = append(res.Points, SplashPoint{Config: cfg, Procs: np, Cycles: r.Cycles})
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("%s/%s/p=%d/%s", jobName, bench, np, cfg),
+				Run: func() (interface{}, error) {
+					b, err := splash.ByName(bench)
+					if err != nil {
+						return nil, err
+					}
+					r := b.Run(np, cfg, sz)
+					return SplashPoint{Config: cfg, Procs: np, Cycles: r.Cycles}, nil
+				},
+			})
 		}
 	}
-	return res, nil
+	return sweep.Job{Name: jobName, Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &SplashResult{Bench: bench, Points: make([]SplashPoint, len(parts))}
+		for i, p := range parts {
+			res.Points[i] = p.(SplashPoint)
+		}
+		return res, nil
+	}}
 }
 
 // Cycles returns the execution time for a configuration/processor pair.
@@ -158,23 +195,50 @@ type SCOMAResult struct {
 // re-accesses into local column-buffer hits at the price of page
 // allocation traps.
 func SCOMA(o Options) (*SCOMAResult, error) {
-	procs := 4
+	v, err := sweep.RunSerial(SCOMAJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SCOMAResult), nil
+}
+
+// scomaConfigs are the machine personalities compared by the S-COMA
+// extension, in column order.
+var scomaConfigs = []coherence.Config{
+	coherence.ReferenceCCNUMA, coherence.IntegratedVictim, coherence.SimpleCOMA,
+}
+
+// SCOMAJob enumerates the S-COMA study as one unit per
+// (benchmark, configuration) multiprocessor run.
+func SCOMAJob(o Options) sweep.Job {
+	const procs = 4
 	sz := splash.Full()
 	if o.MPQuick {
 		sz = splash.Quick()
 	}
-	configs := []coherence.Config{
-		coherence.ReferenceCCNUMA, coherence.IntegratedVictim, coherence.SimpleCOMA,
-	}
-	res := &SCOMAResult{Procs: procs}
-	for _, b := range splash.All() {
-		row := SCOMARow{Bench: b.Name, Cycles: map[coherence.Config]uint64{}}
-		for _, cfg := range configs {
-			row.Cycles[cfg] = b.Run(procs, cfg, sz).Cycles
+	benches := splash.All()
+	var units []sweep.Unit
+	for _, b := range benches {
+		for _, cfg := range scomaConfigs {
+			units = append(units, sweep.Unit{
+				Name: fmt.Sprintf("scoma/%s/%s", b.Name, cfg),
+				Run: func() (interface{}, error) {
+					return b.Run(procs, cfg, sz).Cycles, nil
+				},
+			})
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return sweep.Job{Name: "scoma", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &SCOMAResult{Procs: procs}
+		for bi, b := range benches {
+			row := SCOMARow{Bench: b.Name, Cycles: map[coherence.Config]uint64{}}
+			for ci, cfg := range scomaConfigs {
+				row.Cycles[cfg] = parts[bi*len(scomaConfigs)+ci].(uint64)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	}}
 }
 
 // Table renders the S-COMA comparison.
@@ -196,6 +260,16 @@ func (r *SCOMAResult) Table() *report.Table {
 // ---------------------------------------------------------------------
 // Extension: fabric scaling (Section 8's Lego-block vision).
 // ---------------------------------------------------------------------
+
+// CostJob wraps the Section 3 cost arithmetic as a single-unit job.
+func CostJob() sweep.Job {
+	return sweep.Single("cost", 0, func() (interface{}, error) { return Cost(), nil })
+}
+
+// FabricJob wraps the fabric scaling study as a single-unit job.
+func FabricJob() sweep.Job {
+	return sweep.Single("fabric", 0, func() (interface{}, error) { return Fabric() })
+}
 
 // Fabric evaluates the S-Connect fabric's scaling: bisection bandwidth
 // growing with the machine, and remote latency against the paper's

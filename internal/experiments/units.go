@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// JobFor returns the named experiment as a sweep job: an enumerable
+// list of independent units plus the assembly step that rebuilds the
+// experiment's result in deterministic order. Every experiment the CLI
+// can run in a sweep is registered here; cmd/iramsim adds its own
+// single-unit jobs for the text-only outputs (spec, workloads, fig910,
+// selftest).
+func JobFor(name string, o Options, ms *MeasurementSet) (sweep.Job, error) {
+	switch name {
+	case "table1":
+		return Table1Job(o), nil
+	case "fig2":
+		return Fig2Job(o), nil
+	case "fig7":
+		return Fig7Job(o, ms), nil
+	case "fig8":
+		return Fig8Job(o, ms), nil
+	case "fig11":
+		return Fig11Job(o, ms), nil
+	case "fig12":
+		return Fig12Job(o, ms), nil
+	case "table3":
+		return Table34Job(o, ms, false), nil
+	case "table4":
+		return Table34Job(o, ms, true), nil
+	case "banks":
+		return BanksJob(o, ms), nil
+	case "fig13", "fig14", "fig15", "fig16", "fig17":
+		n, _ := strconv.Atoi(strings.TrimPrefix(name, "fig"))
+		return SplashFigureJob(o, n)
+	case "cost":
+		return CostJob(), nil
+	case "fabric":
+		return FabricJob(), nil
+	case "scoma":
+		return SCOMAJob(o), nil
+	case "ablate-linesize":
+		return AblateLineSizeJob(o), nil
+	case "ablate-victim":
+		return AblateVictimSizeJob(o), nil
+	case "ablate-unit":
+		return AblateCoherenceUnitJob(o), nil
+	case "ablate-scoreboard":
+		return AblateScoreboardJob(o, ms), nil
+	case "ablate-inc":
+		return AblateINCAssociativityJob(o), nil
+	case "ablate-engines":
+		return AblateEnginesJob(o), nil
+	case "ablate-jouppi":
+		return AblateJouppiJob(o), nil
+	default:
+		return sweep.Job{}, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+}
+
+// SweepNames lists every experiment JobFor accepts, in the order
+// `iramsim all` runs them.
+func SweepNames() []string {
+	return []string{
+		"cost", "table1", "fig2", "fig7", "fig8", "fig11", "fig12",
+		"table3", "table4", "banks",
+		"fig13", "fig14", "fig15", "fig16", "fig17",
+		"ablate-linesize", "ablate-victim", "ablate-unit",
+		"ablate-scoreboard", "ablate-inc", "ablate-engines", "ablate-jouppi",
+		"scoma", "fabric",
+	}
+}

@@ -1,0 +1,246 @@
+// Package sweep is the experiment sweep engine: it fans independent
+// experiment units out across a pool of worker goroutines and
+// reassembles their results in a deterministic order, so that a
+// parallel sweep produces byte-identical output to a serial one.
+//
+// The model is the same shape as a batch scheduler: an experiment is a
+// Job made of enumerable Units (the smallest independently runnable
+// pieces — one workload measurement, one GSPN evaluation, one
+// multiprocessor run), each carrying an explicit seed so its result
+// depends only on its inputs, never on scheduling. Workers execute
+// units in whatever order the pool dictates; the engine buffers the
+// partial results and assembles each job exactly once, emitting
+// finished jobs strictly in submission order as their frontier
+// completes. Determinism therefore holds for any worker count,
+// including 1, which is the serial reference.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Unit is one independently runnable piece of an experiment. Run must
+// be self-contained: any randomness must come from Seed (or from seeds
+// closed over explicitly), and it must not mutate state shared with
+// other units except through concurrency-safe structures (e.g. the
+// single-flight measurement cache in internal/experiments).
+type Unit struct {
+	// Name labels the unit in progress and error reports
+	// (e.g. "fig13/p=4/integrated + victim").
+	Name string
+	// Seed is the unit's explicit random seed (0 when the unit is
+	// fully deterministic). It is informational here — the Run closure
+	// must already incorporate it — but carrying it on the unit keeps
+	// the seed assignment auditable and scheduling-independent.
+	Seed int64
+	// Run computes the unit's partial result.
+	Run func() (interface{}, error)
+}
+
+// Job is one experiment: an ordered list of units plus an assembly
+// step that combines the partial results (given in unit order) into
+// the experiment's final value.
+type Job struct {
+	Name  string
+	Units []Unit
+	// Assemble combines the unit results, parts[i] being Units[i]'s
+	// return value. It runs on the coordinating goroutine, exactly
+	// once, after every unit of the job has completed.
+	Assemble func(parts []interface{}) (interface{}, error)
+}
+
+// Single wraps one function as a single-unit job.
+func Single(name string, seed int64, run func() (interface{}, error)) Job {
+	return Job{
+		Name:     name,
+		Units:    []Unit{{Name: name, Seed: seed, Run: run}},
+		Assemble: func(parts []interface{}) (interface{}, error) { return parts[0], nil },
+	}
+}
+
+// JobResult is one assembled experiment.
+type JobResult struct {
+	Name    string
+	Value   interface{}
+	Units   int
+	Elapsed time.Duration // summed unit wall time (not wall-clock)
+}
+
+// Engine schedules units across workers.
+type Engine struct {
+	// Workers is the worker-pool size; values below 1 mean 1 (serial).
+	Workers int
+	// Progress, when non-nil, receives one line per completed unit and
+	// a final summary. Progress output is timing-dependent and must
+	// therefore go to a different stream than the deterministic
+	// experiment output (the CLI sends it to stderr).
+	Progress io.Writer
+}
+
+// errCanceled marks units skipped after the first failure.
+var errCanceled = errors.New("sweep: canceled")
+
+// task addresses one unit in the flattened schedule.
+type task struct{ job, unit int }
+
+type completion struct {
+	t   task
+	val interface{}
+	err error
+	dur time.Duration
+}
+
+// Run executes every unit of every job across the worker pool and
+// calls emit for each job, in job order, as soon as the job's units
+// and every earlier job are complete (so output streams during the
+// sweep). It returns the first unit or assembly error; emit may have
+// been called for jobs that finished before the failure.
+func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	var tasks []task
+	for ji := range jobs {
+		for ui := range jobs[ji].Units {
+			tasks = append(tasks, task{ji, ui})
+		}
+	}
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+
+	taskCh := make(chan task, len(tasks))
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+
+	doneCh := make(chan completion, workers+1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Per-worker duration accumulators, merged after the run: sharded
+	// so the hot path takes no lock.
+	durs := make([]stats.Running, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := range taskCh {
+				if stop.Load() {
+					doneCh <- completion{t: t, err: errCanceled}
+					continue
+				}
+				start := time.Now()
+				v, err := jobs[t.job].Units[t.unit].Run()
+				d := time.Since(start)
+				durs[w].Add(d.Seconds())
+				doneCh <- completion{t: t, val: v, err: err, dur: d}
+			}
+		}(w)
+	}
+
+	parts := make([][]interface{}, len(jobs))
+	elapsed := make([]time.Duration, len(jobs))
+	remaining := make([]int, len(jobs))
+	for ji := range jobs {
+		parts[ji] = make([]interface{}, len(jobs[ji].Units))
+		remaining[ji] = len(jobs[ji].Units)
+	}
+
+	start := time.Now()
+	next := 0 // frontier: next job to assemble and emit
+	var firstErr error
+
+	// flush assembles and emits every complete job at the frontier.
+	flush := func() {
+		for next < len(jobs) && remaining[next] == 0 && firstErr == nil {
+			j := jobs[next]
+			v, err := j.Assemble(parts[next])
+			if err != nil {
+				firstErr = fmt.Errorf("%s: %w", j.Name, err)
+				stop.Store(true)
+				return
+			}
+			if emit != nil {
+				if err := emit(JobResult{Name: j.Name, Value: v, Units: len(j.Units), Elapsed: elapsed[next]}); err != nil {
+					firstErr = err
+					stop.Store(true)
+					return
+				}
+			}
+			parts[next] = nil // release partials once assembled
+			next++
+		}
+	}
+	flush() // zero-unit jobs at the head of the queue
+
+	completed := 0
+	for range tasks {
+		c := <-doneCh
+		completed++
+		switch {
+		case c.err == nil:
+			parts[c.t.job][c.t.unit] = c.val
+			elapsed[c.t.job] += c.dur
+			remaining[c.t.job]--
+			if e.Progress != nil {
+				fmt.Fprintf(e.Progress, "sweep: [%d/%d] %s (%.2fs)\n",
+					completed, len(tasks), jobs[c.t.job].Units[c.t.unit].Name, c.dur.Seconds())
+			}
+			flush()
+		case errors.Is(c.err, errCanceled):
+			// Skipped after a failure; nothing to record.
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", jobs[c.t.job].Units[c.t.unit].Name, c.err)
+				stop.Store(true)
+			}
+		}
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	flush() // jobs with zero units after the last task
+	if firstErr != nil {
+		return firstErr
+	}
+
+	if e.Progress != nil && len(tasks) > 0 {
+		var all stats.Running
+		for i := range durs {
+			all.Merge(durs[i])
+		}
+		fmt.Fprintf(e.Progress,
+			"sweep: %d units on %d workers in %.2fs (unit mean %.2fs, max %.2fs)\n",
+			len(tasks), workers, time.Since(start).Seconds(), all.Mean(), all.Max())
+	}
+	return nil
+}
+
+// RunSerial executes one job's units in order on the calling
+// goroutine and assembles the result. It is the serial reference
+// implementation: Engine.Run with any worker count produces the same
+// values. The monolithic experiment functions are wrappers over this,
+// so the CLI sweep and the direct API share one code path.
+func RunSerial(j Job) (interface{}, error) {
+	parts := make([]interface{}, len(j.Units))
+	for i, u := range j.Units {
+		v, err := u.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", u.Name, err)
+		}
+		parts[i] = v
+	}
+	return j.Assemble(parts)
+}

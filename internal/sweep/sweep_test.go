@@ -1,0 +1,245 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowFirst builds a job whose first unit finishes last under a
+// parallel pool, so emission order is exercised against completion
+// order.
+func slowFirst(name string, n int) Job {
+	units := make([]Unit, n)
+	for i := range units {
+		i := i
+		d := time.Duration(n-i) * time.Millisecond
+		units[i] = Unit{
+			Name: fmt.Sprintf("%s/u%d", name, i),
+			Run: func() (interface{}, error) {
+				time.Sleep(d)
+				return i * i, nil
+			},
+		}
+	}
+	return Job{Name: name, Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		sum := 0
+		for _, p := range parts {
+			sum += p.(int)
+		}
+		return sum, nil
+	}}
+}
+
+func runAll(t *testing.T, workers int, jobs []Job) []JobResult {
+	t.Helper()
+	var got []JobResult
+	e := &Engine{Workers: workers}
+	if err := e.Run(jobs, func(r JobResult) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return got
+}
+
+// TestOrderingAcrossWorkerCounts: jobs are emitted in submission order
+// with identical values regardless of the worker count, even when unit
+// completion order is reversed by construction.
+func TestOrderingAcrossWorkerCounts(t *testing.T) {
+	mk := func() []Job {
+		return []Job{slowFirst("a", 5), slowFirst("b", 3), slowFirst("c", 4)}
+	}
+	ref := runAll(t, 1, mk())
+	if len(ref) != 3 {
+		t.Fatalf("got %d results, want 3", len(ref))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got := runAll(t, workers, mk())
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Name != ref[i].Name || !reflect.DeepEqual(got[i].Value, ref[i].Value) ||
+				got[i].Units != ref[i].Units {
+				t.Errorf("workers=%d job %d: got (%s, %v, %d), want (%s, %v, %d)",
+					workers, i, got[i].Name, got[i].Value, got[i].Units,
+					ref[i].Name, ref[i].Value, ref[i].Units)
+			}
+		}
+	}
+}
+
+// TestRunSerialParity: Engine.Run and RunSerial assemble the same
+// values from the same job.
+func TestRunSerialParity(t *testing.T) {
+	serial, err := RunSerial(slowFirst("p", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runAll(t, 8, []Job{slowFirst("p", 4)})
+	if !reflect.DeepEqual(got[0].Value, serial) {
+		t.Errorf("parallel %v != serial %v", got[0].Value, serial)
+	}
+}
+
+// TestErrorPropagation: the first failing unit's name wraps the error,
+// later units are canceled, and no further jobs are emitted.
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var ranLate sync.Mutex
+	late := 0
+	jobs := []Job{
+		{
+			Name: "bad",
+			Units: []Unit{
+				{Name: "bad/ok", Run: func() (interface{}, error) { return 1, nil }},
+				{Name: "bad/fail", Run: func() (interface{}, error) { return nil, boom }},
+			},
+			Assemble: func(parts []interface{}) (interface{}, error) { return parts, nil },
+		},
+	}
+	// Cancellation is best-effort: the stop flag is set by the
+	// coordinator after it sees the failure, so a unit already pulled by
+	// a worker may still run. With many slow trailing units the flag
+	// must land well before the queue drains.
+	const trailing = 50
+	afterUnits := make([]Unit, trailing)
+	for i := range afterUnits {
+		afterUnits[i] = Unit{
+			Name: fmt.Sprintf("after/u%d", i),
+			Run: func() (interface{}, error) {
+				time.Sleep(time.Millisecond)
+				ranLate.Lock()
+				late++
+				ranLate.Unlock()
+				return 2, nil
+			},
+		}
+	}
+	jobs = append(jobs, Job{
+		Name:     "after",
+		Units:    afterUnits,
+		Assemble: func(parts []interface{}) (interface{}, error) { return len(parts), nil },
+	})
+	var emitted []string
+	e := &Engine{Workers: 1}
+	err := e.Run(jobs, func(r JobResult) error {
+		emitted = append(emitted, r.Name)
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "bad/fail") {
+		t.Errorf("error %q does not name the failing unit", err)
+	}
+	if len(emitted) != 0 {
+		t.Errorf("emitted %v after failure, want none", emitted)
+	}
+	ranLate.Lock()
+	defer ranLate.Unlock()
+	if late >= trailing {
+		t.Errorf("all %d trailing units ran after the failure, want cancellation", trailing)
+	}
+}
+
+// TestAssembleError: an assembly failure is reported with the job name.
+func TestAssembleError(t *testing.T) {
+	j := Job{
+		Name:  "asm",
+		Units: []Unit{{Name: "asm/u", Run: func() (interface{}, error) { return 1, nil }}},
+		Assemble: func(parts []interface{}) (interface{}, error) {
+			return nil, errors.New("mismatch")
+		},
+	}
+	e := &Engine{Workers: 2}
+	err := e.Run([]Job{j}, nil)
+	if err == nil || !strings.Contains(err.Error(), "asm") {
+		t.Fatalf("err = %v, want assembly error naming job", err)
+	}
+}
+
+// TestEmitError: an emit failure stops the sweep and is returned.
+func TestEmitError(t *testing.T) {
+	stop := errors.New("emit failed")
+	e := &Engine{Workers: 2}
+	err := e.Run([]Job{slowFirst("x", 2)}, func(JobResult) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+}
+
+// TestMoreWorkersThanUnits: worker count far above the unit count.
+func TestMoreWorkersThanUnits(t *testing.T) {
+	got := runAll(t, 64, []Job{slowFirst("w", 2)})
+	if len(got) != 1 || got[0].Value.(int) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestZeroUnitJobs: empty jobs assemble and emit in order, including
+// at the head, middle, and tail of the queue, and with no jobs at all.
+func TestZeroUnitJobs(t *testing.T) {
+	empty := func(name string) Job {
+		return Job{Name: name, Assemble: func(parts []interface{}) (interface{}, error) {
+			if len(parts) != 0 {
+				return nil, fmt.Errorf("got %d parts", len(parts))
+			}
+			return name, nil
+		}}
+	}
+	got := runAll(t, 4, []Job{empty("head"), slowFirst("mid", 2), empty("in"), empty("tail")})
+	names := make([]string, len(got))
+	for i, r := range got {
+		names[i] = r.Name
+	}
+	want := []string{"head", "mid", "in", "tail"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("emit order %v, want %v", names, want)
+	}
+
+	if got := runAll(t, 4, nil); len(got) != 0 {
+		t.Errorf("no jobs: emitted %d results", len(got))
+	}
+}
+
+// TestSingle: Single wraps a function as a one-unit job.
+func TestSingle(t *testing.T) {
+	j := Single("one", 7, func() (interface{}, error) { return "v", nil })
+	if len(j.Units) != 1 || j.Units[0].Seed != 7 {
+		t.Fatalf("bad job %+v", j)
+	}
+	v, err := RunSerial(j)
+	if err != nil || v != "v" {
+		t.Fatalf("RunSerial = %v, %v", v, err)
+	}
+}
+
+// TestProgress: one line per unit plus a summary, on the progress
+// writer only.
+func TestProgress(t *testing.T) {
+	var buf bytes.Buffer
+	e := &Engine{Workers: 2, Progress: &buf}
+	if err := e.Run([]Job{slowFirst("p", 3)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d progress lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines[:3] {
+		if !strings.HasPrefix(l, "sweep: [") {
+			t.Errorf("unit line %q", l)
+		}
+	}
+	if !strings.Contains(lines[3], "3 units on 2 workers") {
+		t.Errorf("summary line %q", lines[3])
+	}
+}
