@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet results quick-results clean
+.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci vet results quick-results clean
 
 all: build vet test
 
@@ -24,6 +24,25 @@ race:
 # One benchmark per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The two acceptance benchmarks for the single-pass measurement fast
+# path (Figure 7/8 regeneration), with allocation stats.
+bench-figures:
+	$(GO) test -run '^$$' -bench 'Fig[78]$$' -benchmem -benchtime 2x .
+
+# Record the current Fig7/Fig8 numbers as the checked-in baseline.
+bench-baseline:
+	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -write -baseline BENCH_baseline.json
+
+# Compare against the baseline; fails on >20% ns/op or >2% allocs/op
+# regression. CI uses bench-check-ci, which skips the wall-clock
+# comparison (hardware-dependent) and gates on allocs/op only
+# (deterministic).
+bench-check:
+	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -threshold 0.20
+
+bench-check-ci:
+	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -time=false
 
 # Regenerate every experiment at full fidelity (~15 serial minutes,
 # spread across all cores by default; see the iramsim -j flag).

@@ -1,0 +1,208 @@
+// Command benchguard parses `go test -bench -benchmem` output and
+// compares it against a checked-in JSON baseline, benchstat-style: any
+// benchmark whose ns/op or allocs/op regresses past the threshold
+// fails the run. It is the CI tripwire behind `make bench-check`.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig[78]' -benchmem . | benchguard -baseline BENCH_baseline.json
+//	go test -run '^$' -bench 'Fig[78]' -benchmem . | benchguard -write -baseline BENCH_baseline.json
+//
+// Flags:
+//
+//	-baseline f    JSON baseline file to compare against (or write)
+//	-write         record the parsed results as the new baseline
+//	-threshold x   allowed relative ns/op increase (default 0.20)
+//	-allocs x      allowed relative allocs/op increase (default 0.02)
+//	-time          compare ns/op (default true; CI disables it because
+//	               wall-clock time is hardware-dependent, while
+//	               allocs/op is deterministic)
+//
+// The benchmark name is keyed with its -GOMAXPROCS suffix stripped, so
+// baselines recorded on one core count compare on another.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds the metrics benchguard tracks for one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the on-disk JSON schema.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "JSON baseline file")
+	write := flag.Bool("write", false, "record parsed results as the new baseline")
+	threshold := flag.Float64("threshold", 0.20, "allowed relative ns/op increase")
+	allocThreshold := flag.Float64("allocs", 0.02, "allowed relative allocs/op increase")
+	useTime := flag.Bool("time", true, "compare ns/op (disable in CI: wall time is hardware-dependent)")
+	flag.Parse()
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if *write {
+		b := Baseline{
+			Note:       "regenerate with `make bench-baseline`; compared by `make bench-check`",
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (run `make bench-baseline` to create it)", err))
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", *baselinePath, err))
+	}
+
+	report, failures := compare(base.Benchmarks, current, *threshold, *allocThreshold, *useTime)
+	fmt.Print(report)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}
+
+// parseBench extracts Result lines from `go test -bench` output.
+// Benchmark lines look like
+//
+//	BenchmarkFig7-8  2  205000000 ns/op  1048576 B/op  2444 allocs/op  15.8 fpppp_advantage_x
+//
+// i.e. a name, an iteration count, then value/unit pairs. Custom
+// metrics are ignored; the -GOMAXPROCS suffix is stripped from the key.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; e.g. "BenchmarkX ... FAIL"
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res Result
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// compare checks every baseline benchmark against the current run and
+// returns a rendered table plus the list of regression messages. A
+// baseline entry missing from the current run is a failure (it keeps
+// the baseline in sync with the bench set); a new benchmark absent
+// from the baseline is reported but does not fail.
+func compare(base, current map[string]Result, threshold, allocThreshold float64, useTime bool) (string, []string) {
+	var sb strings.Builder
+	var failures []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "%-28s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "cur ns/op", "Δtime", "base allocs", "cur allocs", "Δallocs")
+	for _, name := range names {
+		b := base[name]
+		c, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", name))
+			fmt.Fprintf(&sb, "%-28s %14.0f %14s\n", name, b.NsPerOp, "MISSING")
+			continue
+		}
+		dt := rel(b.NsPerOp, c.NsPerOp)
+		da := rel(b.AllocsPerOp, c.AllocsPerOp)
+		fmt.Fprintf(&sb, "%-28s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%\n",
+			name, b.NsPerOp, c.NsPerOp, 100*dt, b.AllocsPerOp, c.AllocsPerOp, 100*da)
+		if useTime && dt > threshold {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.0f%%)",
+				name, 100*dt, 100*threshold))
+		}
+		if da > allocThreshold {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %+.1f%% (limit %+.0f%%)",
+				name, 100*da, 100*allocThreshold))
+		}
+	}
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(&sb, "%-28s (new; not in baseline — rerun `make bench-baseline` to record)\n", name)
+		}
+	}
+	return sb.String(), failures
+}
+
+// rel returns (cur-base)/base, treating a zero baseline as no change
+// unless the current value is nonzero (then it is an unbounded
+// regression only if positive).
+func rel(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1 // grew from zero: report +100%
+	}
+	return (cur - base) / base
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig7-8    	       2	 205000000 ns/op	        15.81 fpppp_advantage_x	 1048576 B/op	    2444 allocs/op
+BenchmarkFig8-8    	       2	 206000000 ns/op	         7.20 tomcatv_victim_gain_x	  524288 B/op	    1200 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(got), got)
+	}
+	f7, ok := got["BenchmarkFig7"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", got)
+	}
+	if f7.NsPerOp != 205000000 || f7.BytesPerOp != 1048576 || f7.AllocsPerOp != 2444 {
+		t.Errorf("Fig7 = %+v", f7)
+	}
+	if f8 := got["BenchmarkFig8"]; f8.AllocsPerOp != 1200 {
+		t.Errorf("Fig8 = %+v", f8)
+	}
+}
+
+func TestParseBenchIgnoresNonBenchLines(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok repro 1s\n--- FAIL: TestX\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %d benchmarks from non-bench output", len(got))
+	}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkFig7": {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkFig8": {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkGone": {NsPerOp: 100, AllocsPerOp: 1000},
+	}
+	cur := map[string]Result{
+		"BenchmarkFig7": {NsPerOp: 125, AllocsPerOp: 1000}, // +25% time
+		"BenchmarkFig8": {NsPerOp: 100, AllocsPerOp: 1100}, // +10% allocs
+		"BenchmarkNew":  {NsPerOp: 50, AllocsPerOp: 10},
+	}
+	_, failures := compare(base, cur, 0.20, 0.02, true)
+	if len(failures) != 3 {
+		t.Fatalf("got %d failures, want 3 (time, allocs, missing): %v", len(failures), failures)
+	}
+	joined := strings.Join(failures, "\n")
+	for _, want := range []string{"BenchmarkFig7: ns/op", "BenchmarkFig8: allocs/op", "BenchmarkGone"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failures missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareTimeDisabled(t *testing.T) {
+	base := map[string]Result{"BenchmarkFig7": {NsPerOp: 100, AllocsPerOp: 1000}}
+	cur := map[string]Result{"BenchmarkFig7": {NsPerOp: 900, AllocsPerOp: 1000}}
+	if _, failures := compare(base, cur, 0.20, 0.02, false); len(failures) != 0 {
+		t.Errorf("time comparison not disabled: %v", failures)
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := map[string]Result{"BenchmarkFig7": {NsPerOp: 100, AllocsPerOp: 1000}}
+	cur := map[string]Result{"BenchmarkFig7": {NsPerOp: 115, AllocsPerOp: 1010}}
+	if _, failures := compare(base, cur, 0.20, 0.02, true); len(failures) != 0 {
+		t.Errorf("within-threshold run failed: %v", failures)
+	}
+}

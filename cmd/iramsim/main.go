@@ -7,7 +7,7 @@
 //	iramsim [flags] <experiment> [...]
 //
 // Experiments: table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks
-// fig13 fig14 fig15 fig16 fig17 cost all
+// mattson fig13 fig14 fig15 fig16 fig17 cost all
 //
 // Flags:
 //
@@ -16,6 +16,8 @@
 //	-seed N       Monte-Carlo seed
 //	-procs list   processor counts for fig13..fig17 (e.g. 1,2,4,8,16)
 //	-j N          worker goroutines for the experiment sweep
+//	-cpuprofile f write a CPU profile to f
+//	-memprofile f write a heap profile to f on exit
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -49,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts for fig13..fig17")
 	workers := flag.Int("j", runtime.NumCPU(), "worker goroutines for the experiment sweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -56,20 +61,54 @@ func main() {
 		os.Exit(2)
 	}
 
+	// mainErr carries the defers (profile flushes) that os.Exit would
+	// skip; fatal runs only after they complete.
+	if err := mainErr(*quick, *budget, *seed, *procsFlag, *workers, *cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+}
+
+func mainErr(quick bool, budget, seed int64, procsFlag string, workers int, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iramsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "iramsim: memprofile:", err)
+			}
+		}()
+	}
+
 	opts := experiments.Default()
-	if *quick {
+	if quick {
 		opts = experiments.Quick()
 	}
-	if *budget > 0 {
-		opts.Budget = *budget
+	if budget > 0 {
+		opts.Budget = budget
 	}
-	opts.Seed = *seed
-	if *procsFlag != "" {
+	opts.Seed = seed
+	if procsFlag != "" {
 		var procs []int
-		for _, s := range strings.Split(*procsFlag, ",") {
+		for _, s := range strings.Split(procsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 1 {
-				fatal(fmt.Errorf("bad -procs value %q", s))
+				return fmt.Errorf("bad -procs value %q", s)
 			}
 			procs = append(procs, n)
 		}
@@ -83,9 +122,7 @@ func main() {
 	}
 
 	ms := experiments.NewMeasurementSet(opts)
-	if err := runNames(names, opts, ms, *workers, os.Stdout, os.Stderr); err != nil {
-		fatal(err)
-	}
+	return runNames(names, opts, ms, workers, os.Stdout, os.Stderr)
 }
 
 // runNames fans the named experiments' units out over the worker pool
@@ -236,7 +273,7 @@ func emit(out io.Writer, name string, v tabler) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: iramsim [flags] <experiment> [...]")
-	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} scoma fabric selftest workloads fig910 all")
+	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} scoma fabric selftest workloads fig910 all")
 	flag.PrintDefaults()
 }
 

@@ -17,6 +17,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -30,14 +31,18 @@ type Stats struct {
 	Store  stats.Counter
 }
 
-// Data returns the combined load+store counter.
+// Data returns the combined load+store counter. The result is a fresh
+// value derived from copies of the per-kind counters: mutating it (e.g.
+// via Add) never writes back into the Stats it came from.
 func (s Stats) Data() stats.Counter {
 	c := s.Load
 	c.Add(s.Store)
 	return c
 }
 
-// All returns the combined counter over every reference kind.
+// All returns the combined counter over every reference kind. Like
+// Data, the result is an independent copy; callers may accumulate into
+// it freely.
 func (s Stats) All() stats.Counter {
 	c := s.Data()
 	c.Add(s.Ifetch)
@@ -77,6 +82,13 @@ type Sink struct{ C Cache }
 // Ref implements trace.Sink.
 func (s Sink) Ref(r trace.Ref) { s.C.Access(r.Addr, r.Kind) }
 
+// Refs implements trace.BatchSink.
+func (s Sink) Refs(rs []trace.Ref) {
+	for i := range rs {
+		s.C.Access(rs[i].Addr, rs[i].Kind)
+	}
+}
+
 // line is one cache line's bookkeeping.
 type line struct {
 	tag     uint64
@@ -108,6 +120,15 @@ type SetAssoc struct {
 	lines    [][]line // [set][way], way order = MRU first
 	stats    Stats
 
+	// Precomputed index constants: when lineSize (resp. sets) is a power
+	// of two, addr/lineSize and lineAddr%sets reduce to a shift and a
+	// mask, which the hot lookup path uses instead of integer division.
+	lineShift uint
+	lineMask  uint64
+	linePow2  bool
+	setMask   uint64
+	setPow2   bool
+
 	// OnEvict, if set, is called when a valid line is replaced.
 	OnEvict func(Eviction)
 	// Fills counts line fills (== misses that allocate).
@@ -128,6 +149,15 @@ func NewSetAssoc(name string, size, lineSize uint64, ways int) *SetAssoc {
 	}
 	sets := size / (lineSize * uint64(ways))
 	c := &SetAssoc{name: name, lineSize: lineSize, sets: sets, ways: ways}
+	if lineSize&(lineSize-1) == 0 {
+		c.linePow2 = true
+		c.lineShift = uint(bits.TrailingZeros64(lineSize))
+		c.lineMask = lineSize - 1
+	}
+	if sets&(sets-1) == 0 {
+		c.setPow2 = true
+		c.setMask = sets - 1
+	}
 	c.lines = make([][]line, sets)
 	backing := make([]line, sets*uint64(ways))
 	for i := range c.lines {
@@ -175,10 +205,27 @@ func (c *SetAssoc) Access(addr uint64, kind trace.Kind) bool {
 	return hit
 }
 
+// locate maps addr to its line address, set, and sub-line offset using
+// the precomputed shift/mask constants where the geometry permits.
+func (c *SetAssoc) locate(addr uint64) (lineAddr uint64, set []line, sub uint32) {
+	if c.linePow2 {
+		lineAddr = addr >> c.lineShift
+		sub = uint32(addr & c.lineMask)
+	} else {
+		lineAddr = addr / c.lineSize
+		sub = uint32(addr % c.lineSize)
+	}
+	if c.setPow2 {
+		set = c.lines[lineAddr&c.setMask]
+	} else {
+		set = c.lines[lineAddr%c.sets]
+	}
+	return
+}
+
 // Probe reports whether addr would hit, without changing any state.
 func (c *SetAssoc) Probe(addr uint64) bool {
-	lineAddr := addr / c.lineSize
-	set := c.lines[lineAddr%c.sets]
+	lineAddr, set, _ := c.locate(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			return true
@@ -197,9 +244,7 @@ func (c *SetAssoc) access(addr uint64, isStore bool) bool {
 
 // lookup probes for addr, updating LRU and dirty state on a hit.
 func (c *SetAssoc) lookup(addr uint64, isStore bool) bool {
-	lineAddr := addr / c.lineSize
-	set := c.lines[lineAddr%c.sets]
-	sub := uint32(addr % c.lineSize)
+	lineAddr, set, sub := c.locate(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			l := set[i]
@@ -218,9 +263,7 @@ func (c *SetAssoc) lookup(addr uint64, isStore bool) bool {
 // fill allocates a line for addr at MRU, evicting the set's LRU line
 // (reported to OnEvict when valid).
 func (c *SetAssoc) fill(addr uint64, isStore bool) {
-	lineAddr := addr / c.lineSize
-	set := c.lines[lineAddr%c.sets]
-	sub := uint32(addr % c.lineSize)
+	lineAddr, set, sub := c.locate(addr)
 	victim := set[len(set)-1]
 	if victim.valid && c.OnEvict != nil {
 		c.OnEvict(Eviction{
@@ -237,8 +280,7 @@ func (c *SetAssoc) fill(addr uint64, isStore bool) {
 // Invalidate removes the line containing addr if present, returning
 // whether it was present. Used by the coherence layer.
 func (c *SetAssoc) Invalidate(addr uint64) bool {
-	lineAddr := addr / c.lineSize
-	set := c.lines[lineAddr%c.sets]
+	lineAddr, set, _ := c.locate(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			copy(set[i:], set[i+1:])

@@ -382,3 +382,67 @@ func TestStreamBufferPanics(t *testing.T) {
 	}()
 	NewStreamBuffer(0, 4)
 }
+
+// TestStatsCopySemantics is the regression test for the Data()/All()
+// value-copy contract: the returned counters are independent copies, so
+// accumulating into them must never corrupt the underlying Stats. Every
+// call site in the repo relies on this when it chains .Percent()/.Rate()
+// off the result or folds several caches' counters together.
+func TestStatsCopySemantics(t *testing.T) {
+	c := NewDirectMapped("t", 1024, 32)
+	c.Access(0, trace.Load)
+	c.Access(0, trace.Store)
+	c.Access(4096, trace.Ifetch)
+	before := c.Stats()
+
+	d := c.Stats().Data()
+	d.Events += 100
+	d.Total += 100
+	a := c.Stats().All()
+	a.Add(d)
+
+	if got := c.Stats(); got != before {
+		t.Errorf("mutating Data()/All() results changed Stats: %+v -> %+v", before, got)
+	}
+	if got := c.Stats().Data(); got.Total != 2 {
+		t.Errorf("Data total = %d, want 2", got.Total)
+	}
+	if got := c.Stats().All(); got.Total != 3 {
+		t.Errorf("All total = %d, want 3", got.Total)
+	}
+}
+
+// TestMaskModuloEquivalence pins the precomputed shift/mask index path
+// against the general divide/modulo path: a power-of-two geometry and a
+// non-power-of-two geometry must both match a brute-force reference
+// decomposition on every access.
+func TestMaskModuloEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct {
+		sets uint64
+		ways int
+	}{
+		{16, 2},  // power-of-two sets: mask path
+		{12, 2},  // non-power-of-two sets: modulo path
+		{256, 1}, // DM mask path
+		{100, 4}, // non-power-of-two, wider
+	} {
+		fast := NewSetAssoc("fast", tc.sets*uint64(tc.ways)*32, 32, tc.ways)
+		if fast.setPow2 != (tc.sets&(tc.sets-1) == 0) {
+			t.Fatalf("sets=%d: setPow2 = %v", tc.sets, fast.setPow2)
+		}
+		for i := 0; i < 50_000; i++ {
+			addr := uint64(rng.Intn(1 << 18))
+			lineAddr, set, sub := fast.locate(addr)
+			if want := addr / 32; lineAddr != want {
+				t.Fatalf("sets=%d addr=%#x: lineAddr %d, want %d", tc.sets, addr, lineAddr, want)
+			}
+			if want := uint32(addr % 32); sub != want {
+				t.Fatalf("sets=%d addr=%#x: sub %d, want %d", tc.sets, addr, sub, want)
+			}
+			if want := &fast.lines[(addr/32)%tc.sets][0]; &set[0] != want {
+				t.Fatalf("sets=%d addr=%#x: wrong set selected", tc.sets, addr)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpsim"
 	"repro/internal/report"
 	"repro/internal/splash"
+	"repro/internal/stackdist"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -63,24 +64,37 @@ func AblateLineSizeJob(o Options) sweep.Job {
 	})}
 }
 
-// ablateLineSizeBench measures one benchmark at every line size.
+// ablateLineSizeBench measures one benchmark at every line size using
+// one stack-distance set profiler per line size (a 16 KB 2-way cache at
+// line size L is the 16KB/(2·L)-sets × 2-ways geometry). Runs of
+// references within one 32 B block — necessarily within one block of
+// every larger line size too — collapse into MRU-hit bumps.
 func ablateLineSizeBench(o Options, name string) ([]LineSizeRow, error) {
 	lineSizes := []int{32, 64, 128, 256, 512, 1024}
 	w, err := workload.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	caches := make([]*cache.SetAssoc, len(lineSizes))
+	profs := make([]*stackdist.SetProfiler, len(lineSizes))
 	for i, ls := range lineSizes {
-		caches[i] = cache.NewSetAssoc(fmt.Sprintf("16KB 2W %dB", ls),
-			16<<10, uint64(ls), 2)
+		profs[i] = stackdist.NewSetProfiler(uint64(ls),
+			[]stackdist.Geometry{{Sets: 16 << 10 / (2 * uint64(ls)), Ways: 2}})
 	}
+	var lastLine uint64 // previous data ref's 32 B line + 1 (0 = none)
 	sink := trace.SinkFunc(func(r trace.Ref) {
 		if r.Kind == trace.Ifetch {
 			return
 		}
-		for _, c := range caches {
-			c.Access(r.Addr, r.Kind)
+		if line := r.Addr >> 5; line+1 == lastLine {
+			for _, p := range profs {
+				p.AddRepeats(r.Kind, 1)
+			}
+			return
+		} else {
+			lastLine = line + 1
+		}
+		for _, p := range profs {
+			p.Access(r.Addr, r.Kind)
 		}
 	})
 	budget := o.Budget
@@ -92,9 +106,12 @@ func ablateLineSizeBench(o Options, name string) ([]LineSizeRow, error) {
 	}
 	rows := make([]LineSizeRow, len(lineSizes))
 	for i, ls := range lineSizes {
+		sets := 16 << 10 / (2 * uint64(ls))
+		miss := profs[i].MissCounter(sets, 2, trace.Load)
+		miss.Add(profs[i].MissCounter(sets, 2, trace.Store))
 		rows[i] = LineSizeRow{
 			Bench: name, LineBytes: ls,
-			MissPct: caches[i].Stats().Data().Percent(),
+			MissPct: miss.Percent(),
 		}
 	}
 	return rows, nil
@@ -171,7 +188,11 @@ func AblateVictimSizeJob(o Options) sweep.Job {
 	})}
 }
 
-// ablateVictimBench measures one benchmark at every victim size.
+// ablateVictimBench measures one benchmark at every victim size. This
+// ablation stays on the per-config replay path deliberately: victim
+// cache contents depend on main-cache eviction order and sub-block
+// recency, which stack-distance profiling cannot express (see
+// internal/stackdist's package doc).
 func ablateVictimBench(o Options, name string) ([]VictimSizeRow, error) {
 	entries := []int{0, 4, 8, 16, 32, 64}
 	w, err := workload.ByName(name)

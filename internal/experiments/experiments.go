@@ -63,9 +63,10 @@ func Quick() Options {
 // simulates it and the others block until that result is ready, so a
 // workload is never simulated twice.
 type MeasurementSet struct {
-	opts Options
-	mu   sync.Mutex
-	m    map[string]*msEntry
+	opts   Options
+	replay bool
+	mu     sync.Mutex
+	m      map[string]*msEntry
 }
 
 // msEntry is one workload's single-flight slot.
@@ -80,6 +81,15 @@ func NewMeasurementSet(o Options) *MeasurementSet {
 	return &MeasurementSet{opts: o, m: make(map[string]*msEntry)}
 }
 
+// NewReplayMeasurementSet is NewMeasurementSet but with every workload
+// measured by per-configuration cache replay instead of the
+// stack-distance fast path. The two must produce identical results; it
+// exists so tests (and a skeptical user) can regenerate any figure on
+// the reference path.
+func NewReplayMeasurementSet(o Options) *MeasurementSet {
+	return &MeasurementSet{opts: o, replay: true, m: make(map[string]*msEntry)}
+}
+
 // Get measures the workload (once, even under concurrent callers).
 func (s *MeasurementSet) Get(w workload.Workload) (*workload.Measurement, error) {
 	s.mu.Lock()
@@ -90,7 +100,11 @@ func (s *MeasurementSet) Get(w workload.Workload) (*workload.Measurement, error)
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		e.m, e.err = workload.Run(w, s.opts.Budget)
+		if s.replay {
+			e.m, e.err = workload.RunReplay(w, s.opts.Budget)
+		} else {
+			e.m, e.err = workload.Run(w, s.opts.Budget)
+		}
 	})
 	return e.m, e.err
 }
@@ -147,11 +161,11 @@ func fig7Row(ms *MeasurementSet, w workload.Workload) (Fig7Row, error) {
 	}
 	row := Fig7Row{
 		Bench:    w.Name,
-		Proposed: m.Caches.PropI.Stats().Ifetch.Percent(),
+		Proposed: m.Caches.PropIStats().Ifetch.Percent(),
 		Conv:     map[int]float64{},
 	}
-	for kb, c := range m.Caches.ConvI {
-		row.Conv[kb] = c.Stats().Ifetch.Percent()
+	for _, kb := range workload.ConvISizesKB {
+		row.Conv[kb] = m.Caches.ConvIStats(kb).Ifetch.Percent()
 	}
 	return row, nil
 }
@@ -224,20 +238,20 @@ func fig8Row(ms *MeasurementSet, w workload.Workload) (Fig8Row, error) {
 		return Fig8Row{}, err
 	}
 	cs := m.Caches
+	propD := cs.PropDStats()
+	vicD := cs.PropDVictimStats()
 	row := Fig8Row{
 		Bench:     w.Name,
-		PropLoad:  cs.PropD.Stats().Load.Percent(),
-		PropStore: cs.PropD.Stats().Store.Percent(),
-		VicLoad:   cs.PropDVictim.Stats().Load.Percent(),
-		VicStore:  cs.PropDVictim.Stats().Store.Percent(),
+		PropLoad:  propD.Load.Percent(),
+		PropStore: propD.Store.Percent(),
+		VicLoad:   vicD.Load.Percent(),
+		VicStore:  vicD.Store.Percent(),
 		ConvDM:    map[int]float64{},
 		Conv2W:    map[int]float64{},
 	}
-	for kb, c := range cs.ConvD1 {
-		row.ConvDM[kb] = c.Stats().Data().Percent()
-	}
-	for kb, c := range cs.ConvD2 {
-		row.Conv2W[kb] = c.Stats().Data().Percent()
+	for _, kb := range workload.ConvDSizesKB {
+		row.ConvDM[kb] = cs.ConvDMStats(kb).Data().Percent()
+		row.Conv2W[kb] = cs.Conv2WStats(kb).Data().Percent()
 	}
 	return row, nil
 }

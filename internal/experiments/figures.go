@@ -7,6 +7,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/paperref"
 	"repro/internal/report"
+	"repro/internal/stackdist"
 	"repro/internal/sweep"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -512,4 +513,90 @@ func (r *LatencyResult) Plot() *report.Series {
 		s.Add(p.Bench, p.MemCycles, p.CPI)
 	}
 	return s
+}
+
+// ---------------------------------------------------------------------
+// Mattson miss-ratio curves: every cache size from one profiled pass.
+// ---------------------------------------------------------------------
+
+// MattsonRow is one workload's fully-associative LRU miss-ratio curve
+// plus its total line footprint, all measured in a single pass by the
+// stack-distance profiler (internal/stackdist).
+type MattsonRow struct {
+	Bench     string
+	Footprint int             // distinct 32 B lines touched
+	MissPct   map[int]float64 // capacity KB -> miss % over all refs
+}
+
+// MattsonResult is the miss-ratio-curve data set.
+type MattsonResult struct{ Rows []MattsonRow }
+
+// mattsonSizesKB are the capacities of the miss-ratio curve. All of
+// them come from the same histogram — adding a size is free.
+var mattsonSizesKB = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Mattson measures every workload's miss-ratio curve.
+func Mattson(o Options) (*MattsonResult, error) {
+	v, err := sweep.RunSerial(MattsonJob(o))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*MattsonResult), nil
+}
+
+// MattsonJob enumerates the miss-ratio-curve study as one unit per
+// workload: one execution, one stack-distance profile, eleven sizes.
+func MattsonJob(o Options) sweep.Job {
+	ws := workload.All()
+	units := make([]sweep.Unit, len(ws))
+	for i, w := range ws {
+		w := w
+		units[i] = sweep.Unit{
+			Name: "mattson/" + w.Name,
+			Run:  func() (interface{}, error) { return mattsonRow(o, w) },
+		}
+	}
+	return sweep.Job{Name: "mattson", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		res := &MattsonResult{Rows: make([]MattsonRow, len(parts))}
+		for i, p := range parts {
+			res.Rows[i] = p.(MattsonRow)
+		}
+		return res, nil
+	}}
+}
+
+// mattsonRow profiles one workload's reference stream.
+func mattsonRow(o Options, w workload.Workload) (MattsonRow, error) {
+	p := stackdist.NewProfiler(32)
+	budget := o.Budget
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	if _, err := vm.RunProgram(w.Build(), p, budget); err != nil {
+		return MattsonRow{}, err
+	}
+	row := MattsonRow{Bench: w.Name, Footprint: p.Footprint(), MissPct: map[int]float64{}}
+	for _, kb := range mattsonSizesKB {
+		row.MissPct[kb] = p.MissCounterAll(uint64(kb) << 10 / 32).Percent()
+	}
+	return row, nil
+}
+
+// Table renders the miss-ratio curves.
+func (r *MattsonResult) Table() *report.Table {
+	cols := []string{"benchmark", "lines touched"}
+	for _, kb := range mattsonSizesKB {
+		cols = append(cols, sizeLabel(uint64(kb)<<10))
+	}
+	t := report.NewTable("Mattson miss-ratio curves: fully-assoc LRU miss % by capacity (32 B lines, one pass)", cols...)
+	for _, row := range r.Rows {
+		cells := []interface{}{row.Bench, row.Footprint}
+		for _, kb := range mattsonSizesKB {
+			cells = append(cells, pct(row.MissPct[kb]))
+		}
+		t.Row(cells...)
+	}
+	t.Note("single-pass exact LRU stack-distance profile (Mattson et al., 1970): the inclusion")
+	t.Note("property makes every capacity's miss ratio a suffix sum of one distance histogram")
+	return t
 }

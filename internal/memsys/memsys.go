@@ -98,22 +98,24 @@ func Integrated() *Hierarchy {
 // AccessNs simulates one data access and returns its latency in
 // nanoseconds. Lower levels are filled on a miss (inclusive hierarchy).
 func (h *Hierarchy) AccessNs(addr uint64, kind trace.Kind) float64 {
-	defer func() {
-		if h.haveLast {
-			h.lastDelta = int64(addr) - int64(h.lastAddr)
-		}
-		h.lastAddr = addr
-		h.haveLast = true
-	}()
+	// Capture the previous access's state, then update it inline: this
+	// is the hottest loop in the repo (Walk issues tens of millions of
+	// calls) and a deferred closure here costs an allocation per call.
+	prevAddr, prevDelta, hadLast := h.lastAddr, h.lastDelta, h.haveLast
+	if hadLast {
+		h.lastDelta = int64(addr) - int64(prevAddr)
+	}
+	h.lastAddr = addr
+	h.haveLast = true
 	for i := range h.Levels {
 		if h.Levels[i].Cache.Access(addr, kind) {
 			return h.Levels[i].LatencyNs
 		}
 	}
 	// Miss in every level (already filled by Access's side effects).
-	if h.PrefetchStride > 0 && h.haveLast {
-		delta := int64(addr) - int64(h.lastAddr)
-		if delta == h.lastDelta && delta > 0 && uint64(delta) <= h.PrefetchStride {
+	if h.PrefetchStride > 0 && hadLast {
+		delta := int64(addr) - int64(prevAddr)
+		if delta == prevDelta && delta > 0 && uint64(delta) <= h.PrefetchStride {
 			// The prefetch unit has already issued this access.
 			last := h.Levels[len(h.Levels)-1]
 			return last.LatencyNs
@@ -222,6 +224,13 @@ func (e *Estimator) Ref(r trace.Ref) {
 	default:
 		e.DataNs += e.H.AccessNs(r.Addr, r.Kind)
 		e.DataN++
+	}
+}
+
+// Refs implements trace.BatchSink.
+func (e *Estimator) Refs(rs []trace.Ref) {
+	for i := range rs {
+		e.Ref(rs[i])
 	}
 }
 

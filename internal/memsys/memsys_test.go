@@ -104,3 +104,48 @@ func TestStringDescribes(t *testing.T) {
 		t.Error("empty description")
 	}
 }
+
+// TestAccessNsZeroAllocs is the -benchmem guard for the walk loop: the
+// per-call defer closure that used to live in AccessNs cost one
+// allocation per reference, which dominates Figure 2's tens of millions
+// of calls. The hot path must stay allocation-free.
+func TestAccessNsZeroAllocs(t *testing.T) {
+	h := SS10()
+	h.Reset()
+	addr := uint64(0x40000000)
+	allocs := testing.AllocsPerRun(10_000, func() {
+		h.AccessNs(addr, trace.Load)
+		addr += 32
+	})
+	if allocs != 0 {
+		t.Errorf("AccessNs allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestEstimatorZeroAllocs extends the guard through the Estimator sink
+// wrapper, both per-ref and batched.
+func TestEstimatorZeroAllocs(t *testing.T) {
+	e := &Estimator{H: SS5()}
+	batch := make([]trace.Ref, 64)
+	for i := range batch {
+		batch[i] = trace.Ref{Kind: trace.Load, Addr: uint64(i) * 32, Size: 4}
+	}
+	allocs := testing.AllocsPerRun(1_000, func() {
+		e.Refs(batch)
+	})
+	if allocs != 0 {
+		t.Errorf("Estimator.Refs allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// BenchmarkAccessNs measures the walk-loop hot path; run with -benchmem
+// to confirm 0 allocs/op.
+func BenchmarkAccessNs(b *testing.B) {
+	h := SS10()
+	h.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessNs(0x40000000+uint64(i)*32, trace.Load)
+	}
+}

@@ -1,0 +1,211 @@
+package stackdist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Geometry names one set-associative organisation at the profiler's
+// line size: Sets × Ways lines.
+type Geometry struct {
+	Sets uint64
+	Ways int
+}
+
+// tracker holds exact per-set LRU state for one set count. tags is
+// Sets × Ways line tags, MRU-first within each set; a tag is the line
+// address + 1 so that 0 means invalid. hist[kind][p] counts references
+// that hit at LRU position p; hist[kind][ways] counts misses. Because
+// LRU within a set obeys inclusion over associativity, one tracker at
+// ways W answers every organisation with the same set count and
+// associativity <= W: an access hitting at position p hits every cache
+// with more than p ways.
+type tracker struct {
+	sets    uint64
+	mask    uint64 // sets-1 when sets is a power of two
+	setPow2 bool
+	ways    int
+	tags    []uint64
+	hist    [kindCount][]int64
+}
+
+// SetProfiler measures every requested set-associative geometry at one
+// line size in a single pass over a reference stream. Geometries
+// sharing a set count share one tracker at the maximum requested
+// associativity, so e.g. the direct-mapped 16 KB and 2-way 32 KB
+// points of the Figure 8 grid cost one LRU scan between them.
+type SetProfiler struct {
+	lineSize  uint64
+	lineShift uint
+	linePow2  bool
+	trackers  []tracker
+
+	// Pos holds, per tracker (in TrackerIndex order), the LRU position
+	// the latest Access hit at, or -1 on a miss. It lets callers route
+	// fall-back structures (the reference system's L2 sees only
+	// first-level misses) without a second lookup. Reused across calls;
+	// never allocated per access.
+	Pos []int8
+}
+
+// NewSetProfiler builds a profiler for the given line size covering
+// every geometry in geoms.
+func NewSetProfiler(lineSize uint64, geoms []Geometry) *SetProfiler {
+	if lineSize == 0 {
+		panic("stackdist: zero line size")
+	}
+	p := &SetProfiler{
+		lineSize: lineSize,
+		linePow2: lineSize&(lineSize-1) == 0,
+	}
+	if p.linePow2 {
+		p.lineShift = uint(bits.TrailingZeros64(lineSize))
+	}
+	// Merge geometries by set count, keeping the maximum ways.
+	maxWays := map[uint64]int{}
+	var order []uint64
+	for _, g := range geoms {
+		if g.Sets == 0 || g.Ways < 1 {
+			panic(fmt.Sprintf("stackdist: invalid geometry %+v", g))
+		}
+		if _, ok := maxWays[g.Sets]; !ok {
+			order = append(order, g.Sets)
+		}
+		if g.Ways > maxWays[g.Sets] {
+			maxWays[g.Sets] = g.Ways
+		}
+	}
+	for _, sets := range order {
+		ways := maxWays[sets]
+		t := tracker{
+			sets:    sets,
+			setPow2: sets&(sets-1) == 0,
+			ways:    ways,
+			tags:    make([]uint64, sets*uint64(ways)),
+		}
+		if t.setPow2 {
+			t.mask = sets - 1
+		}
+		for k := range t.hist {
+			t.hist[k] = make([]int64, ways+1)
+		}
+		p.trackers = append(p.trackers, t)
+	}
+	p.Pos = make([]int8, len(p.trackers))
+	return p
+}
+
+// TrackerIndex returns the index into Pos of the tracker covering the
+// given set count, or -1 if no requested geometry uses it.
+func (p *SetProfiler) TrackerIndex(sets uint64) int {
+	for i := range p.trackers {
+		if p.trackers[i].sets == sets {
+			return i
+		}
+	}
+	return -1
+}
+
+// LineSize returns the profiler's line size in bytes.
+func (p *SetProfiler) LineSize() uint64 { return p.lineSize }
+
+// Access records one reference in every tracker and updates Pos.
+func (p *SetProfiler) Access(addr uint64, kind trace.Kind) {
+	var la uint64
+	if p.linePow2 {
+		la = addr >> p.lineShift
+	} else {
+		la = addr / p.lineSize
+	}
+	tag := la + 1
+	for ti := range p.trackers {
+		t := &p.trackers[ti]
+		var set uint64
+		if t.setPow2 {
+			set = la & t.mask
+		} else {
+			set = la % t.sets
+		}
+		w := t.tags[set*uint64(t.ways) : set*uint64(t.ways)+uint64(t.ways)]
+		if w[0] == tag {
+			// MRU hit: no reordering needed. This is the dominant case
+			// on instruction streams and the reason the scan is split.
+			t.hist[kind][0]++
+			p.Pos[ti] = 0
+			continue
+		}
+		pos := -1
+		for i := 1; i < len(w); i++ {
+			if w[i] == tag {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			t.hist[kind][t.ways]++
+			p.Pos[ti] = -1
+			copy(w[1:], w[:len(w)-1])
+			w[0] = tag
+			continue
+		}
+		t.hist[kind][pos]++
+		p.Pos[ti] = int8(pos)
+		copy(w[1:pos+1], w[:pos])
+		w[0] = tag
+	}
+}
+
+// AddRepeats credits n additional MRU hits of the given kind to every
+// tracker without touching LRU state. It is only correct when the
+// profiler's previous Access was to the same line as each repeated
+// reference (the line is then at the MRU position of its set in every
+// tracker, and re-accessing it changes no ordering). Callers use it to
+// collapse runs of same-line references — ~7/8 of an instruction
+// stream at 32-byte lines — into one counter bump.
+func (p *SetProfiler) AddRepeats(kind trace.Kind, n int64) {
+	if n == 0 {
+		return
+	}
+	for ti := range p.trackers {
+		p.trackers[ti].hist[kind][0] += n
+	}
+}
+
+// counter derives the miss statistics of the (sets, ways) organisation
+// for one kind from the tracker histograms.
+func (p *SetProfiler) counter(t *tracker, ways int, kind trace.Kind) stats.Counter {
+	var hits, total int64
+	for pos, n := range t.hist[kind] {
+		total += n
+		if pos < ways {
+			hits += n
+		}
+	}
+	return stats.Counter{Events: total - hits, Total: total}
+}
+
+// MissCounter returns the exact miss statistics the (sets, ways)
+// set-associative LRU cache would have accumulated over the profiled
+// stream for one reference kind. The geometry must be covered by the
+// profiler: its set count registered and ways no larger than the
+// tracker's associativity.
+func (p *SetProfiler) MissCounter(sets uint64, ways int, kind trace.Kind) stats.Counter {
+	ti := p.TrackerIndex(sets)
+	if ti < 0 || ways < 1 || ways > p.trackers[ti].ways {
+		panic(fmt.Sprintf("stackdist: geometry %d sets × %d ways not profiled", sets, ways))
+	}
+	return p.counter(&p.trackers[ti], ways, kind)
+}
+
+// Ref implements trace.Sink.
+func (p *SetProfiler) Ref(r trace.Ref) { p.Access(r.Addr, r.Kind) }
+
+// Refs implements trace.BatchSink.
+func (p *SetProfiler) Refs(rs []trace.Ref) {
+	for i := range rs {
+		p.Access(rs[i].Addr, rs[i].Kind)
+	}
+}

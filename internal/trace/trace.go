@@ -44,6 +44,28 @@ type Sink interface {
 	Ref(r Ref)
 }
 
+// BatchSink is an optional extension of Sink for consumers that can
+// amortise per-reference dispatch. Producers that buffer references
+// (the VM's Run loop) type-assert their Sink to BatchSink and hand
+// over slices; the slice is owned by the producer and reused after the
+// call returns, so implementations must not retain it.
+type BatchSink interface {
+	Sink
+	Refs(rs []Ref)
+}
+
+// EmitAll delivers a slice of references to a sink, using the batched
+// path when the sink supports it.
+func EmitAll(s Sink, rs []Ref) {
+	if b, ok := s.(BatchSink); ok {
+		b.Refs(rs)
+		return
+	}
+	for i := range rs {
+		s.Ref(rs[i])
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Ref)
 
@@ -57,6 +79,14 @@ type Tee []Sink
 func (t Tee) Ref(r Ref) {
 	for _, s := range t {
 		s.Ref(r)
+	}
+}
+
+// Refs implements BatchSink, forwarding the whole batch to each inner
+// sink (batched where supported) before moving to the next.
+func (t Tee) Refs(rs []Ref) {
+	for _, s := range t {
+		EmitAll(s, rs)
 	}
 }
 
@@ -77,6 +107,13 @@ func (c *Counts) Ref(r Ref) {
 		c.Loads++
 	case Store:
 		c.Stores++
+	}
+}
+
+// Refs implements BatchSink.
+func (c *Counts) Refs(rs []Ref) {
+	for i := range rs {
+		c.Ref(rs[i])
 	}
 }
 

@@ -115,6 +115,13 @@ type CPU struct {
 	prog *isa.Program
 	sink trace.Sink
 
+	// Batched emission (active only inside Run): when the sink supports
+	// trace.BatchSink, references are staged in batch and handed over in
+	// slices, eliminating one interface call per reference.
+	bsink    trace.BatchSink
+	batch    []trace.Ref
+	batching bool
+
 	// Instructions counts retired instructions (including nops).
 	Instructions int64
 	// Branches and TakenBranches count conditional branches.
@@ -148,11 +155,52 @@ const asmStackTop = 0xF0000
 // Halted reports whether the program executed a halt instruction.
 func (c *CPU) Halted() bool { return c.halted }
 
+// refBatchLen is the Run-loop staging buffer size. Large enough to
+// amortise the batched-sink call, small enough to stay cache-resident.
+const refBatchLen = 256
+
+// emit delivers one reference, staging it when batching is active.
+func (c *CPU) emit(r trace.Ref) {
+	if !c.batching {
+		c.sink.Ref(r)
+		return
+	}
+	c.batch = append(c.batch, r)
+	if len(c.batch) == cap(c.batch) {
+		c.bsink.Refs(c.batch)
+		c.batch = c.batch[:0]
+	}
+}
+
+// flushBatch drains any staged references to the batched sink.
+func (c *CPU) flushBatch() {
+	if len(c.batch) > 0 {
+		c.bsink.Refs(c.batch)
+		c.batch = c.batch[:0]
+	}
+}
+
 // Run executes up to budget instructions (or forever if budget <= 0,
 // until halt). It returns nil if the program halted, ErrBudget if the
 // budget expired first, or an execution error (bad opcode, divide by
 // zero, fetch outside the code segment).
+//
+// When the sink implements trace.BatchSink, Run stages references in a
+// reusable buffer and delivers them in slices; the stream content and
+// order are identical, and the buffer is drained before Run returns.
+// Direct Step callers always get per-reference delivery.
 func (c *CPU) Run(budget int64) error {
+	if b, ok := c.sink.(trace.BatchSink); ok && !c.batching {
+		c.bsink = b
+		if c.batch == nil {
+			c.batch = make([]trace.Ref, 0, refBatchLen)
+		}
+		c.batching = true
+		defer func() {
+			c.flushBatch()
+			c.batching = false
+		}()
+	}
 	for budget <= 0 || c.Instructions < budget {
 		if c.halted {
 			return nil
@@ -173,7 +221,7 @@ func (c *CPU) Step() error {
 	if !ok {
 		return fmt.Errorf("vm: instruction fetch outside code segment at 0x%x", c.PC)
 	}
-	c.sink.Ref(trace.Ref{Kind: trace.Ifetch, Addr: c.PC, Size: isa.WordSize})
+	c.emit(trace.Ref{Kind: trace.Ifetch, Addr: c.PC, Size: isa.WordSize})
 	c.Instructions++
 	nextPC := c.PC + isa.WordSize
 
@@ -266,7 +314,7 @@ func (c *CPU) Step() error {
 	case isa.OpLb, isa.OpLbu, isa.OpLh, isa.OpLhu, isa.OpLw, isa.OpLwu, isa.OpLd:
 		addr := rs1 + uint64(ins.Imm)
 		size := ins.Op.MemSize()
-		c.sink.Ref(trace.Ref{Kind: trace.Load, Addr: addr, Size: uint8(size)})
+		c.emit(trace.Ref{Kind: trace.Load, Addr: addr, Size: uint8(size)})
 		v := c.Mem.Read(addr, size)
 		switch ins.Op {
 		case isa.OpLb:
@@ -281,7 +329,7 @@ func (c *CPU) Step() error {
 	case isa.OpSb, isa.OpSh, isa.OpSw, isa.OpSd:
 		addr := rs1 + uint64(ins.Imm)
 		size := ins.Op.MemSize()
-		c.sink.Ref(trace.Ref{Kind: trace.Store, Addr: addr, Size: uint8(size)})
+		c.emit(trace.Ref{Kind: trace.Store, Addr: addr, Size: uint8(size)})
 		c.Mem.Write(addr, size, rs2)
 		writeRd = false
 

@@ -5,14 +5,203 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpumodel"
+	"repro/internal/stackdist"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
-// CacheSet is the collection of cache models fed by one simulation run
-// of a workload — everything needed for Figures 7 and 8 and for the
-// GSPN inputs of Tables 3 and 4, gathered in a single pass.
+// convLineSize and propLineSize are the two line sizes in the study:
+// conventional caches use 32 B lines, the proposed column-buffer caches
+// use 512 B lines (one DRAM column buffer).
+const (
+	convLineSize = 32
+	propLineSize = 512
+)
+
+// ConvISizesKB and ConvDSizesKB are the conventional cache sizes
+// plotted in Figures 7 and 8, in ascending order (iterate these — not a
+// map — when deterministic output order matters).
+var (
+	ConvISizesKB = []int{8, 16, 32, 64}
+	ConvDSizesKB = []int{8, 16, 32, 64, 128, 256}
+)
+
+// CacheMeasurer is what one simulation pass of a workload produces:
+// miss statistics for every cache organisation in the Figure 7/8 grids,
+// the proposed column-buffer caches of Tables 3/4, and the reference
+// system's L2. Two implementations exist — CacheSet, the single-pass
+// stack-distance profiler, and ReplayCacheSet, the original
+// one-simulated-cache-per-configuration path — and they produce
+// identical statistics (see TestFastMatchesReplay).
+type CacheMeasurer interface {
+	trace.Sink
+	// RefCounts tallies the reference stream by kind.
+	RefCounts() trace.Counts
+	// PropIStats is the proposed 8 KB DM 512 B I-cache.
+	PropIStats() cache.Stats
+	// PropDStats is the proposed 16 KB 2-way 512 B D-cache, no victim.
+	PropDStats() cache.Stats
+	// PropDVictimStats is the proposed D-cache plus 16×32 B victim.
+	PropDVictimStats() cache.Stats
+	// ConvIStats is the conventional DM 32 B I-cache of the given size.
+	ConvIStats(kb int) cache.Stats
+	// ConvDMStats is the conventional DM 32 B D-cache of the given size.
+	ConvDMStats(kb int) cache.Stats
+	// Conv2WStats is the conventional 2-way 32 B D-cache of the given size.
+	Conv2WStats(kb int) cache.Stats
+	// L2Stats is the reference system's 256 KB 2-way unified L2, which
+	// sees only misses from the 16 KB first-level pair.
+	L2Stats() cache.Stats
+}
+
+// CacheSet measures every Figure 7/8 configuration in a single profiled
+// pass. Instead of simulating one cache per grid point, it maintains
+// four stack-distance set profilers (conventional-I, proposed-I,
+// conventional-D, proposed-D) whose per-set LRU position histograms
+// answer every set count × associativity in the grid exactly
+// (internal/stackdist). Two organisations the profilers cannot express
+// still replay: the victim cache (its contents depend on eviction
+// order) and the L2 (it sees a conditional stream — only first-level
+// misses). Runs of references to the same 32 B line — the common case
+// for instruction fetches, at 8 instructions per line — collapse into
+// MRU-hit counter bumps without touching any LRU state.
 type CacheSet struct {
+	counts trace.Counts
+
+	iconv *stackdist.SetProfiler // 32 B lines, ifetch stream
+	iprop *stackdist.SetProfiler // 512 B lines, ifetch stream
+	dconv *stackdist.SetProfiler // 32 B lines, data stream
+	dprop *stackdist.SetProfiler // 512 B lines, data stream
+	vic   *cache.WithVictim      // replay fallback: eviction-order state
+	l2    *cache.SetAssoc        // replay fallback: conditional stream
+
+	i16 int // iconv tracker index of the 16 KB DM geometry (512 sets)
+	d16 int // dconv tracker index of the same
+
+	lastILine uint64 // previous ifetch 32 B line + 1 (0 = none)
+	lastDLine uint64 // previous load/store 32 B line + 1 (0 = none)
+}
+
+// NewCacheSet builds the profilers and fallback models for one run.
+func NewCacheSet() *CacheSet {
+	var ig []stackdist.Geometry
+	for _, kb := range ConvISizesKB {
+		ig = append(ig, stackdist.Geometry{Sets: uint64(kb) << 10 / convLineSize, Ways: 1})
+	}
+	var dg []stackdist.Geometry
+	for _, kb := range ConvDSizesKB {
+		dg = append(dg,
+			stackdist.Geometry{Sets: uint64(kb) << 10 / convLineSize, Ways: 1},
+			stackdist.Geometry{Sets: uint64(kb) << 10 / (2 * convLineSize), Ways: 2})
+	}
+	cs := &CacheSet{
+		iconv: stackdist.NewSetProfiler(convLineSize, ig),
+		iprop: stackdist.NewSetProfiler(propLineSize,
+			[]stackdist.Geometry{{Sets: 16, Ways: 1}}),
+		dconv: stackdist.NewSetProfiler(convLineSize, dg),
+		dprop: stackdist.NewSetProfiler(propLineSize,
+			[]stackdist.Geometry{{Sets: 16, Ways: 2}}),
+		vic: cache.Proposed(),
+		l2: cache.NewSetAssoc("256KB 2-way 32B unified L2",
+			256<<10, convLineSize, 2),
+	}
+	cs.i16 = cs.iconv.TrackerIndex(16 << 10 / convLineSize)
+	cs.d16 = cs.dconv.TrackerIndex(16 << 10 / convLineSize)
+	return cs
+}
+
+// Ref implements trace.Sink: one reference drives every measurement.
+func (cs *CacheSet) Ref(r trace.Ref) {
+	line := r.Addr >> 5 // convLineSize == 32
+	if r.Kind == trace.Ifetch {
+		cs.counts.Ifetches++
+		if line+1 == cs.lastILine {
+			// Same line as the previous fetch: an MRU hit in every
+			// tracked I-geometry (both line sizes), and necessarily a
+			// 16 KB first-level hit, so the L2 never sees it.
+			cs.iconv.AddRepeats(trace.Ifetch, 1)
+			cs.iprop.AddRepeats(trace.Ifetch, 1)
+			return
+		}
+		cs.lastILine = line + 1
+		cs.iconv.Access(r.Addr, trace.Ifetch)
+		cs.iprop.Access(r.Addr, trace.Ifetch)
+		// The reference system's L2 sees 16 KB first-level I misses:
+		// the DM 16 KB cache hit iff the access hit at LRU position 0.
+		if cs.iconv.Pos[cs.i16] != 0 {
+			cs.l2.Access(r.Addr, trace.Ifetch)
+		}
+		return
+	}
+	cs.counts.Ref(r)
+	// The victim-cache organisation replays every data reference: its
+	// contents depend on main-cache eviction order and sub-block
+	// recency, which no stack-distance histogram captures.
+	cs.vic.Access(r.Addr, r.Kind)
+	if line+1 == cs.lastDLine {
+		cs.dconv.AddRepeats(r.Kind, 1)
+		cs.dprop.AddRepeats(r.Kind, 1)
+		return
+	}
+	cs.lastDLine = line + 1
+	cs.dconv.Access(r.Addr, r.Kind)
+	cs.dprop.Access(r.Addr, r.Kind)
+	if cs.dconv.Pos[cs.d16] != 0 {
+		cs.l2.Access(r.Addr, r.Kind)
+	}
+}
+
+// Refs implements trace.BatchSink.
+func (cs *CacheSet) Refs(rs []trace.Ref) {
+	for i := range rs {
+		cs.Ref(rs[i])
+	}
+}
+
+// RefCounts implements CacheMeasurer.
+func (cs *CacheSet) RefCounts() trace.Counts { return cs.counts }
+
+// setStats assembles per-kind miss statistics for one geometry.
+func setStats(p *stackdist.SetProfiler, sets uint64, ways int) cache.Stats {
+	return cache.Stats{
+		Ifetch: p.MissCounter(sets, ways, trace.Ifetch),
+		Load:   p.MissCounter(sets, ways, trace.Load),
+		Store:  p.MissCounter(sets, ways, trace.Store),
+	}
+}
+
+// PropIStats implements CacheMeasurer.
+func (cs *CacheSet) PropIStats() cache.Stats { return setStats(cs.iprop, 16, 1) }
+
+// PropDStats implements CacheMeasurer.
+func (cs *CacheSet) PropDStats() cache.Stats { return setStats(cs.dprop, 16, 2) }
+
+// PropDVictimStats implements CacheMeasurer.
+func (cs *CacheSet) PropDVictimStats() cache.Stats { return cs.vic.Stats() }
+
+// ConvIStats implements CacheMeasurer.
+func (cs *CacheSet) ConvIStats(kb int) cache.Stats {
+	return setStats(cs.iconv, uint64(kb)<<10/convLineSize, 1)
+}
+
+// ConvDMStats implements CacheMeasurer.
+func (cs *CacheSet) ConvDMStats(kb int) cache.Stats {
+	return setStats(cs.dconv, uint64(kb)<<10/convLineSize, 1)
+}
+
+// Conv2WStats implements CacheMeasurer.
+func (cs *CacheSet) Conv2WStats(kb int) cache.Stats {
+	return setStats(cs.dconv, uint64(kb)<<10/(2*convLineSize), 2)
+}
+
+// L2Stats implements CacheMeasurer.
+func (cs *CacheSet) L2Stats() cache.Stats { return cs.l2.Stats() }
+
+// ReplayCacheSet is the original measurement path: one simulated cache
+// per configuration, every reference replayed through all of them. It
+// is retained as the fallback/oracle the fast path is verified against,
+// and for organisations outside the profiled grid.
+type ReplayCacheSet struct {
 	// Proposed organisation.
 	PropI       *cache.SetAssoc   // 8 KB DM, 512 B lines (column buffers)
 	PropD       *cache.SetAssoc   // 16 KB 2-way, 512 B lines, no victim
@@ -33,16 +222,9 @@ type CacheSet struct {
 	Counts trace.Counts
 }
 
-// ConvISizesKB and ConvDSizesKB are the conventional cache sizes
-// plotted in Figures 7 and 8.
-var (
-	ConvISizesKB = []int{8, 16, 32, 64}
-	ConvDSizesKB = []int{8, 16, 32, 64, 128, 256}
-)
-
-// NewCacheSet builds fresh caches for one measurement run.
-func NewCacheSet() *CacheSet {
-	cs := &CacheSet{
+// NewReplayCacheSet builds fresh caches for one replay measurement run.
+func NewReplayCacheSet() *ReplayCacheSet {
+	cs := &ReplayCacheSet{
 		PropI:       cache.ProposedICache(),
 		PropD:       cache.ProposedDCache(),
 		PropDVictim: cache.Proposed(),
@@ -50,23 +232,23 @@ func NewCacheSet() *CacheSet {
 		ConvD1:      make(map[int]*cache.SetAssoc),
 		ConvD2:      make(map[int]*cache.SetAssoc),
 		L2: cache.NewSetAssoc("256KB 2-way 32B unified L2",
-			256<<10, 32, 2),
+			256<<10, convLineSize, 2),
 	}
 	for _, kb := range ConvISizesKB {
 		cs.ConvI[kb] = cache.NewDirectMapped(
-			fmt.Sprintf("%dKB DM 32B I", kb), uint64(kb)<<10, 32)
+			fmt.Sprintf("%dKB DM 32B I", kb), uint64(kb)<<10, convLineSize)
 	}
 	for _, kb := range ConvDSizesKB {
 		cs.ConvD1[kb] = cache.NewDirectMapped(
-			fmt.Sprintf("%dKB DM 32B D", kb), uint64(kb)<<10, 32)
+			fmt.Sprintf("%dKB DM 32B D", kb), uint64(kb)<<10, convLineSize)
 		cs.ConvD2[kb] = cache.NewSetAssoc(
-			fmt.Sprintf("%dKB 2-way 32B D", kb), uint64(kb)<<10, 32, 2)
+			fmt.Sprintf("%dKB 2-way 32B D", kb), uint64(kb)<<10, convLineSize, 2)
 	}
 	return cs
 }
 
 // Ref implements trace.Sink: one reference drives every cache model.
-func (cs *CacheSet) Ref(r trace.Ref) {
+func (cs *ReplayCacheSet) Ref(r trace.Ref) {
 	cs.Counts.Ref(r)
 	if r.Kind == trace.Ifetch {
 		cs.PropI.Access(r.Addr, r.Kind)
@@ -98,20 +280,62 @@ func (cs *CacheSet) Ref(r trace.Ref) {
 	}
 }
 
+// Refs implements trace.BatchSink.
+func (cs *ReplayCacheSet) Refs(rs []trace.Ref) {
+	for i := range rs {
+		cs.Ref(rs[i])
+	}
+}
+
+// RefCounts implements CacheMeasurer.
+func (cs *ReplayCacheSet) RefCounts() trace.Counts { return cs.Counts }
+
+// PropIStats implements CacheMeasurer.
+func (cs *ReplayCacheSet) PropIStats() cache.Stats { return cs.PropI.Stats() }
+
+// PropDStats implements CacheMeasurer.
+func (cs *ReplayCacheSet) PropDStats() cache.Stats { return cs.PropD.Stats() }
+
+// PropDVictimStats implements CacheMeasurer.
+func (cs *ReplayCacheSet) PropDVictimStats() cache.Stats { return cs.PropDVictim.Stats() }
+
+// ConvIStats implements CacheMeasurer.
+func (cs *ReplayCacheSet) ConvIStats(kb int) cache.Stats { return cs.ConvI[kb].Stats() }
+
+// ConvDMStats implements CacheMeasurer.
+func (cs *ReplayCacheSet) ConvDMStats(kb int) cache.Stats { return cs.ConvD1[kb].Stats() }
+
+// Conv2WStats implements CacheMeasurer.
+func (cs *ReplayCacheSet) Conv2WStats(kb int) cache.Stats { return cs.ConvD2[kb].Stats() }
+
+// L2Stats implements CacheMeasurer.
+func (cs *ReplayCacheSet) L2Stats() cache.Stats { return cs.L2.Stats() }
+
 // Measurement is the distilled result of one workload run.
 type Measurement struct {
 	Workload Workload
-	Caches   *CacheSet
+	Caches   CacheMeasurer
 	Instr    int64
 }
 
 // Run executes the workload for the given instruction budget (<= 0
-// means the workload's own default) and measures every cache model.
+// means the workload's own default) and measures every cache model via
+// the single-pass profiled path.
 func Run(w Workload, budget int64) (*Measurement, error) {
+	return runWith(w, budget, NewCacheSet())
+}
+
+// RunReplay is Run on the per-configuration replay path. The two paths
+// produce identical statistics; replay exists as the oracle for tests
+// and as the template for organisations the profilers cannot express.
+func RunReplay(w Workload, budget int64) (*Measurement, error) {
+	return runWith(w, budget, NewReplayCacheSet())
+}
+
+func runWith(w Workload, budget int64, cs CacheMeasurer) (*Measurement, error) {
 	if budget <= 0 {
 		budget = w.Budget
 	}
-	cs := NewCacheSet()
 	program := w.Build()
 	cpu, err := vm.RunProgram(program, cs, budget)
 	if err != nil {
@@ -125,20 +349,21 @@ func Run(w Workload, budget int64) (*Measurement, error) {
 // hit probability includes the victim cache (Table 4) or not (Table 3).
 func (m *Measurement) Rates(integrated, withVictim bool) cpumodel.AppRates {
 	cs := m.Caches
+	counts := cs.RefCounts()
 	app := cpumodel.AppRates{
 		Name:      m.Workload.Name,
 		BaseCPI:   m.Workload.BaseCPI,
-		LoadFrac:  cs.Counts.LoadFrac(),
-		StoreFrac: cs.Counts.StoreFrac(),
+		LoadFrac:  counts.LoadFrac(),
+		StoreFrac: counts.StoreFrac(),
 	}
 	if app.BaseCPI < 1 {
 		app.BaseCPI = 1
 	}
 	if integrated {
-		app.IHit = 1 - cs.PropI.Stats().Ifetch.Rate()
-		d := cs.PropD.Stats()
+		app.IHit = 1 - cs.PropIStats().Ifetch.Rate()
+		d := cs.PropDStats()
 		if withVictim {
-			d = cs.PropDVictim.Stats()
+			d = cs.PropDVictimStats()
 		}
 		app.LoadHit = 1 - d.Load.Rate()
 		app.StoreHit = 1 - d.Store.Rate()
@@ -146,11 +371,11 @@ func (m *Measurement) Rates(integrated, withVictim bool) cpumodel.AppRates {
 	}
 	// Reference system: 16 KB first-level caches + measured conditional
 	// L2 hit rates.
-	app.IHit = 1 - cs.ConvI[16].Stats().Ifetch.Rate()
-	d := cs.ConvD1[16].Stats()
+	app.IHit = 1 - cs.ConvIStats(16).Ifetch.Rate()
+	d := cs.ConvDMStats(16)
 	app.LoadHit = 1 - d.Load.Rate()
 	app.StoreHit = 1 - d.Store.Rate()
-	l2 := cs.L2.Stats()
+	l2 := cs.L2Stats()
 	app.IL2Hit = 1 - l2.Ifetch.Rate()
 	app.LoadL2Hit = 1 - l2.Load.Rate()
 	app.StoreL2Hit = 1 - l2.Store.Rate()

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestFastMatchesReplay is the workload half of the property-based
+// equivalence suite (the random-trace half lives in
+// internal/stackdist): the single-pass profiled measurement and the
+// per-configuration replay must report identical miss counts for every
+// size/associativity in the Figure 7/8 grid, the proposed caches, the
+// victim-augmented cache, and the conditional L2.
+func TestFastMatchesReplay(t *testing.T) {
+	for _, name := range []string{"129.compress", "101.tomcatv", "126.gcc", "synopsys", "145.fpppp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := Run(w, 150_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, err := RunReplay(w, 150_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, r := fast.Caches, replay.Caches
+			if fc, rc := f.RefCounts(), r.RefCounts(); fc != rc {
+				t.Errorf("counts: fast %+v, replay %+v", fc, rc)
+			}
+			if a, b := f.PropIStats(), r.PropIStats(); a != b {
+				t.Errorf("PropI: fast %+v, replay %+v", a, b)
+			}
+			if a, b := f.PropDStats(), r.PropDStats(); a != b {
+				t.Errorf("PropD: fast %+v, replay %+v", a, b)
+			}
+			if a, b := f.PropDVictimStats(), r.PropDVictimStats(); a != b {
+				t.Errorf("PropDVictim: fast %+v, replay %+v", a, b)
+			}
+			if a, b := f.L2Stats(), r.L2Stats(); a != b {
+				t.Errorf("L2: fast %+v, replay %+v", a, b)
+			}
+			for _, kb := range ConvISizesKB {
+				if a, b := f.ConvIStats(kb), r.ConvIStats(kb); a != b {
+					t.Errorf("ConvI %dKB: fast %+v, replay %+v", kb, a, b)
+				}
+			}
+			for _, kb := range ConvDSizesKB {
+				if a, b := f.ConvDMStats(kb), r.ConvDMStats(kb); a != b {
+					t.Errorf("ConvDM %dKB: fast %+v, replay %+v", kb, a, b)
+				}
+				if a, b := f.Conv2WStats(kb), r.Conv2WStats(kb); a != b {
+					t.Errorf("Conv2W %dKB: fast %+v, replay %+v", kb, a, b)
+				}
+			}
+			if fast.Instr != replay.Instr {
+				t.Errorf("instructions: fast %d, replay %d", fast.Instr, replay.Instr)
+			}
+		})
+	}
+}
+
+// TestRatesAgreeAcrossPaths checks the GSPN input derivation end to
+// end on both measurement paths.
+func TestRatesAgreeAcrossPaths(t *testing.T) {
+	w, err := ByName("102.swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(w, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := RunReplay(w, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, integrated := range []bool{true, false} {
+		for _, victim := range []bool{true, false} {
+			a := fast.Rates(integrated, victim)
+			b := replay.Rates(integrated, victim)
+			if a != b {
+				t.Errorf("integrated=%v victim=%v: fast %+v, replay %+v",
+					integrated, victim, a, b)
+			}
+		}
+	}
+}

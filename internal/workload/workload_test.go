@@ -67,7 +67,8 @@ func TestAllBuildAndRun(t *testing.T) {
 			if m.Instr < testBudget/2 {
 				t.Errorf("executed only %d instructions", m.Instr)
 			}
-			lf := m.Caches.Counts.LoadFrac()
+			counts := m.Caches.RefCounts()
+			lf := counts.LoadFrac()
 			if lf < 0.005 || lf > 0.6 {
 				t.Errorf("load fraction %.3f outside a plausible range", lf)
 			}
@@ -87,7 +88,7 @@ func TestAllBuildAndRun(t *testing.T) {
 func TestFig7TightLoopsFitICache(t *testing.T) {
 	for _, name := range []string{"110.applu", "129.compress", "102.swim", "107.mgrid", "132.ijpeg"} {
 		m := measure(t, name)
-		if miss := m.Caches.PropI.Stats().Ifetch.Percent(); miss > 0.1 {
+		if miss := m.Caches.PropIStats().Ifetch.Percent(); miss > 0.1 {
 			t.Errorf("%s: proposed I-miss %.3f%%, want ~0", name, miss)
 		}
 	}
@@ -98,8 +99,8 @@ func TestFig7TightLoopsFitICache(t *testing.T) {
 func TestFig7LongLinesBeatConventional(t *testing.T) {
 	for _, name := range []string{"126.gcc", "134.perl", "147.vortex", "145.fpppp", "141.apsi"} {
 		m := measure(t, name)
-		prop := m.Caches.PropI.Stats().Ifetch.Percent()
-		conv16 := m.Caches.ConvI[16].Stats().Ifetch.Percent()
+		prop := m.Caches.PropIStats().Ifetch.Percent()
+		conv16 := m.Caches.ConvIStats(16).Ifetch.Percent()
 		if prop >= conv16 {
 			t.Errorf("%s: proposed %.3f%% not better than conventional 16KB %.3f%%",
 				name, prop, conv16)
@@ -111,8 +112,8 @@ func TestFig7LongLinesBeatConventional(t *testing.T) {
 // cache a ~11x advantage over the same-size conventional cache.
 func TestFig7FppppFactor(t *testing.T) {
 	m := measure(t, "145.fpppp")
-	prop := m.Caches.PropI.Stats().Ifetch.Percent()
-	conv8 := m.Caches.ConvI[8].Stats().Ifetch.Percent()
+	prop := m.Caches.PropIStats().Ifetch.Percent()
+	conv8 := m.Caches.ConvIStats(8).Ifetch.Percent()
 	if prop <= 0 {
 		t.Fatal("fpppp proposed I-miss is zero; kernel too small")
 	}
@@ -126,8 +127,8 @@ func TestFig7FppppFactor(t *testing.T) {
 // rate is *higher* on the proposed cache (loop/callee line conflict).
 func TestFig7Turb3dRegression(t *testing.T) {
 	m := measure(t, "125.turb3d")
-	prop := m.Caches.PropI.Stats().Ifetch.Percent()
-	conv8 := m.Caches.ConvI[8].Stats().Ifetch.Percent()
+	prop := m.Caches.PropIStats().Ifetch.Percent()
+	conv8 := m.Caches.ConvIStats(8).Ifetch.Percent()
 	if prop <= conv8 {
 		t.Errorf("turb3d: proposed %.3f%% should exceed conventional %.3f%%", prop, conv8)
 	}
@@ -137,8 +138,8 @@ func TestFig7Turb3dRegression(t *testing.T) {
 			continue
 		}
 		mm := measure(t, w.Name)
-		p := mm.Caches.PropI.Stats().Ifetch.Percent()
-		c := mm.Caches.ConvI[8].Stats().Ifetch.Percent()
+		p := mm.Caches.PropIStats().Ifetch.Percent()
+		c := mm.Caches.ConvIStats(8).Ifetch.Percent()
 		if p > c+0.05 {
 			t.Errorf("%s: unexpected proposed I-cache regression (%.3f%% vs %.3f%%)",
 				w.Name, p, c)
@@ -155,8 +156,8 @@ func TestFig7Turb3dRegression(t *testing.T) {
 func TestFig8LongLineWinners(t *testing.T) {
 	for _, name := range []string{"107.mgrid", "104.hydro2d"} {
 		m := measure(t, name)
-		prop := m.Caches.PropD.Stats().Data().Percent()
-		conv := m.Caches.ConvD1[16].Stats().Data().Percent()
+		prop := m.Caches.PropDStats().Data().Percent()
+		conv := m.Caches.ConvDMStats(16).Data().Percent()
 		if prop <= 0 {
 			t.Fatalf("%s: zero miss rate, kernel degenerate", name)
 		}
@@ -171,8 +172,8 @@ func TestFig8LongLineWinners(t *testing.T) {
 func TestFig8ConflictVictims(t *testing.T) {
 	for _, name := range []string{"101.tomcatv", "102.swim", "103.su2cor", "146.wave5"} {
 		m := measure(t, name)
-		prop := m.Caches.PropD.Stats().Data().Percent()
-		conv := m.Caches.ConvD1[16].Stats().Data().Percent()
+		prop := m.Caches.PropDStats().Data().Percent()
+		conv := m.Caches.ConvDMStats(16).Data().Percent()
 		if prop <= conv {
 			t.Errorf("%s: proposed %.2f%% should exceed conventional 16KB DM %.2f%%",
 				name, prop, conv)
@@ -185,9 +186,9 @@ func TestFig8ConflictVictims(t *testing.T) {
 func TestFig8VictimRecovers(t *testing.T) {
 	for _, name := range []string{"101.tomcatv", "102.swim", "103.su2cor", "146.wave5"} {
 		m := measure(t, name)
-		prop := m.Caches.PropD.Stats().Data().Percent()
-		vic := m.Caches.PropDVictim.Stats().Data().Percent()
-		conv2w := m.Caches.ConvD2[16].Stats().Data().Percent()
+		prop := m.Caches.PropDStats().Data().Percent()
+		vic := m.Caches.PropDVictimStats().Data().Percent()
+		conv2w := m.Caches.Conv2WStats(16).Data().Percent()
 		if vic > prop/3 {
 			t.Errorf("%s: victim only improved %.2f%% -> %.2f%%, want >= 3x", name, prop, vic)
 		}
@@ -202,8 +203,8 @@ func TestFig8VictimRecovers(t *testing.T) {
 // cache to a modest benefit (paper: ~25% — contrast tomcatv's ~7x).
 func TestFig8GoVictimSmall(t *testing.T) {
 	m := measure(t, "099.go")
-	prop := m.Caches.PropD.Stats().Data().Percent()
-	vic := m.Caches.PropDVictim.Stats().Data().Percent()
+	prop := m.Caches.PropDStats().Data().Percent()
+	vic := m.Caches.PropDVictimStats().Data().Percent()
 	gain := (prop - vic) / prop
 	if gain < 0.08 || gain > 0.45 {
 		t.Errorf("go: victim gain %.0f%% outside the paper's ~25%% regime (%.2f%% -> %.2f%%)",
@@ -216,8 +217,8 @@ func TestFig8GoVictimSmall(t *testing.T) {
 func TestFig8VictimNeverHurts(t *testing.T) {
 	for _, w := range All() {
 		m := measure(t, w.Name)
-		prop := m.Caches.PropD.Stats().Data().Events
-		vic := m.Caches.PropDVictim.Stats().Data().Events
+		prop := m.Caches.PropDStats().Data().Events
+		vic := m.Caches.PropDVictimStats().Data().Events
 		if vic > prop {
 			t.Errorf("%s: victim increased misses %d -> %d", w.Name, prop, vic)
 		}

@@ -111,35 +111,41 @@ func Run(p *Program, cfg RunConfig) (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	counts := cs.RefCounts()
+	propI := cs.PropIStats()
+	propD := cs.PropDStats()
+	vicD := cs.PropDVictimStats()
+	convI16 := cs.ConvIStats(16)
+	convD16 := cs.ConvDMStats(16)
 	st := &RunStats{
 		Instructions: cpu.Instructions,
-		Loads:        cs.Counts.Loads,
-		Stores:       cs.Counts.Stores,
+		Loads:        counts.Loads,
+		Stores:       counts.Stores,
 		BaseCPI:      cfg.BaseCPI,
 		Proposed: CacheRates{
-			IMissPct:     cs.PropI.Stats().Ifetch.Percent(),
-			LoadMissPct:  cs.PropDVictim.Stats().Load.Percent(),
-			StoreMissPct: cs.PropDVictim.Stats().Store.Percent(),
+			IMissPct:     propI.Ifetch.Percent(),
+			LoadMissPct:  vicD.Load.Percent(),
+			StoreMissPct: vicD.Store.Percent(),
 		},
 		ProposedNoVictim: CacheRates{
-			IMissPct:     cs.PropI.Stats().Ifetch.Percent(),
-			LoadMissPct:  cs.PropD.Stats().Load.Percent(),
-			StoreMissPct: cs.PropD.Stats().Store.Percent(),
+			IMissPct:     propI.Ifetch.Percent(),
+			LoadMissPct:  propD.Load.Percent(),
+			StoreMissPct: propD.Store.Percent(),
 		},
 		Conv16KB: CacheRates{
-			IMissPct:     cs.ConvI[16].Stats().Ifetch.Percent(),
-			LoadMissPct:  cs.ConvD1[16].Stats().Load.Percent(),
-			StoreMissPct: cs.ConvD1[16].Stats().Store.Percent(),
+			IMissPct:     convI16.Ifetch.Percent(),
+			LoadMissPct:  convD16.Load.Percent(),
+			StoreMissPct: convD16.Store.Percent(),
 		},
 	}
 	rates := cpumodel.AppRates{
 		Name:      "user-program",
 		BaseCPI:   cfg.BaseCPI,
-		LoadFrac:  cs.Counts.LoadFrac(),
-		StoreFrac: cs.Counts.StoreFrac(),
-		IHit:      1 - cs.PropI.Stats().Ifetch.Rate(),
-		LoadHit:   1 - cs.PropDVictim.Stats().Load.Rate(),
-		StoreHit:  1 - cs.PropDVictim.Stats().Store.Rate(),
+		LoadFrac:  counts.LoadFrac(),
+		StoreFrac: counts.StoreFrac(),
+		IHit:      1 - propI.Ifetch.Rate(),
+		LoadHit:   1 - vicD.Load.Rate(),
+		StoreHit:  1 - vicD.Store.Rate(),
 	}
 	r, err := cpumodel.Evaluate(cpumodel.Integrated(), rates, cfg.GSPNInstructions, cfg.Seed)
 	if err != nil {
