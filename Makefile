@@ -25,10 +25,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The two acceptance benchmarks for the single-pass measurement fast
-# path (Figure 7/8 regeneration), with allocation stats.
+# The acceptance benchmarks: the single-pass measurement fast path
+# (Figure 7/8 regeneration) and the multiprocessor SPLASH runs
+# (Figures 13-17), with allocation stats.
 bench-figures:
-	$(GO) test -run '^$$' -bench 'Fig[78]$$' -benchmem -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'Fig[78]$$|Fig1[3-7]' -benchmem -benchtime 2x .
 
 # Record the current Fig7/Fig8 numbers as the checked-in baseline.
 bench-baseline:

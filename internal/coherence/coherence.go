@@ -79,9 +79,9 @@ const (
 )
 
 type dirEntry struct {
-	state   dirState
 	sharers uint64 // bitmask of nodes with copies (excluding home implicit copy)
-	owner   int
+	owner   int32
+	state   dirState
 }
 
 // Machine is a complete shared-memory machine: N nodes plus the
@@ -94,9 +94,9 @@ type Machine struct {
 	// configurable for the false-sharing ablation of EXPERIMENTS.md).
 	Unit uint64
 
-	dir  map[uint64]*dirEntry // block number -> entry
-	home map[uint64]int       // explicit page placement (page -> node)
-	eng  *engines             // optional protocol-engine occupancy model
+	dir  dirTable  // block number -> directory entry (paged dense array)
+	home homeTable // explicit page placement (page -> node)
+	eng  *engines  // optional protocol-engine occupancy model
 
 	// Stats
 	RemoteLoads   int64
@@ -126,7 +126,7 @@ func NewMachine(n int, lat Latencies, mk func(id int) Node) *Machine {
 	if n < 1 || n > 64 {
 		panic(fmt.Sprintf("coherence: node count %d outside 1..64", n))
 	}
-	m := &Machine{Lat: lat, Unit: BlockSize, dir: make(map[uint64]*dirEntry)}
+	m := &Machine{Lat: lat, Unit: BlockSize}
 	for i := 0; i < n; i++ {
 		m.Nodes = append(m.Nodes, mk(i))
 	}
@@ -136,7 +136,7 @@ func NewMachine(n int, lat Latencies, mk func(id int) Node) *Machine {
 // HomeOf maps an address to its home node: explicitly placed pages
 // first (Place), then round-robin page interleaving.
 func (m *Machine) HomeOf(addr uint64) int {
-	if n, ok := m.home[addr/PageSize]; ok {
+	if n, ok := m.home.get(addr / PageSize); ok {
 		return n
 	}
 	return int((addr / PageSize) % uint64(len(m.Nodes)))
@@ -150,21 +150,13 @@ func (m *Machine) Place(base, size uint64, node int) {
 	if node < 0 || node >= len(m.Nodes) {
 		panic(fmt.Sprintf("coherence: Place on unknown node %d", node))
 	}
-	if m.home == nil {
-		m.home = make(map[uint64]int)
-	}
 	for page := base / PageSize; page <= (base+size-1)/PageSize; page++ {
-		m.home[page] = node
+		m.home.set(page, node)
 	}
 }
 
 func (m *Machine) entry(block uint64) *dirEntry {
-	e := m.dir[block]
-	if e == nil {
-		e = &dirEntry{state: dirHome}
-		m.dir[block] = e
-	}
-	return e
+	return m.dir.entry(block)
 }
 
 // Access services one memory reference from proc and returns its
@@ -184,7 +176,7 @@ func (m *Machine) Access(proc int, addr uint64, write bool) uint64 {
 		m.LocalAccesses++
 		switch e.state {
 		case dirDirty:
-			if e.owner != proc {
+			if int(e.owner) != proc {
 				// Recall the dirty copy from the remote owner.
 				m.Nodes[e.owner].Invalidate(block*m.Unit, m.Unit)
 				m.RemoteLoads++
@@ -204,7 +196,7 @@ func (m *Machine) Access(proc int, addr uint64, write bool) uint64 {
 		// Remote access: consult the home directory.
 		switch e.state {
 		case dirDirty:
-			if e.owner != proc {
+			if int(e.owner) != proc {
 				m.Nodes[e.owner].Invalidate(block*m.Unit, m.Unit)
 				e.state = dirHome
 				e.sharers = 0
@@ -220,7 +212,7 @@ func (m *Machine) Access(proc int, addr uint64, write bool) uint64 {
 		}
 		if write {
 			e.state = dirDirty
-			e.owner = proc
+			e.owner = int32(proc)
 			e.sharers = 1 << uint(proc)
 			// The home node's own cached copy becomes stale.
 			m.Nodes[home].Invalidate(block*m.Unit, m.Unit)
@@ -274,12 +266,14 @@ func kindOf(write bool) trace.Kind {
 // ---------------------------------------------------------------------
 
 // INC is the Inter-Node Cache: 7-way set-associative over 32 B blocks,
-// seven blocks plus a tag block per 512 B DRAM column (Figure 6).
+// seven blocks plus a tag block per 512 B DRAM column (Figure 6). The
+// tag state is two flat arrays indexed by set*ways+way (MRU first
+// within a set) — one allocation each, not one per set.
 type INC struct {
 	sets   int
 	ways   int
-	blocks [][]uint64 // [set][way] block numbers; MRU first
-	valid  [][]bool
+	blocks []uint64 // block numbers, set-major, MRU first within a set
+	valid  []bool
 	Hits   int64
 	Misses int64
 }
@@ -304,14 +298,12 @@ func NewINCWays(capacityBytes, unitBytes uint64, ways int) *INC {
 	if sets < 1 {
 		sets = 1
 	}
-	inc := &INC{sets: sets, ways: ways}
-	inc.blocks = make([][]uint64, sets)
-	inc.valid = make([][]bool, sets)
-	for i := range inc.blocks {
-		inc.blocks[i] = make([]uint64, ways)
-		inc.valid[i] = make([]bool, ways)
+	return &INC{
+		sets:   sets,
+		ways:   ways,
+		blocks: make([]uint64, sets*ways),
+		valid:  make([]bool, sets*ways),
 	}
-	return inc
 }
 
 // NewMachineINC builds an integrated machine whose nodes use an INC
@@ -332,16 +324,21 @@ func (c *INC) set(block uint64) int { return int(block % uint64(c.sets)) }
 // Sets returns the number of sets (for tests and ablations).
 func (c *INC) Sets() int { return c.sets }
 
+// row returns the block's set as flat-array slices.
+func (c *INC) row(block uint64) (blocks []uint64, valid []bool) {
+	s := c.set(block) * c.ways
+	return c.blocks[s : s+c.ways], c.valid[s : s+c.ways]
+}
+
 // Lookup probes the INC for the block, updating LRU on a hit.
 func (c *INC) Lookup(block uint64) bool {
-	s := c.set(block)
+	blocks, valid := c.row(block)
 	for w := 0; w < c.ways; w++ {
-		if c.valid[s][w] && c.blocks[s][w] == block {
-			b := c.blocks[s][w]
-			copy(c.blocks[s][1:w+1], c.blocks[s][:w])
-			copy(c.valid[s][1:w+1], c.valid[s][:w])
-			c.blocks[s][0] = b
-			c.valid[s][0] = true
+		if valid[w] && blocks[w] == block {
+			copy(blocks[1:w+1], blocks[:w])
+			copy(valid[1:w+1], valid[:w])
+			blocks[0] = block
+			valid[0] = true
 			c.Hits++
 			return true
 		}
@@ -352,23 +349,25 @@ func (c *INC) Lookup(block uint64) bool {
 
 // Insert places the block at MRU, evicting the set's LRU way.
 func (c *INC) Insert(block uint64) {
-	s := c.set(block)
-	copy(c.blocks[s][1:], c.blocks[s][:c.ways-1])
-	copy(c.valid[s][1:], c.valid[s][:c.ways-1])
-	c.blocks[s][0] = block
-	c.valid[s][0] = true
+	blocks, valid := c.row(block)
+	copy(blocks[1:], blocks[:c.ways-1])
+	copy(valid[1:], valid[:c.ways-1])
+	blocks[0] = block
+	valid[0] = true
 }
 
 // Invalidate removes the block if present.
 func (c *INC) Invalidate(block uint64) bool {
-	s := c.set(block)
+	blocks, valid := c.row(block)
 	for w := 0; w < c.ways; w++ {
-		if c.valid[s][w] && c.blocks[s][w] == block {
-			copy(c.blocks[s][w:], c.blocks[s][w+1:])
-			c.valid[s][c.ways-1] = false
-			// compact valid flags too
-			copy(c.valid[s][w:], c.valid[s][w+1:])
-			c.valid[s][c.ways-1] = false
+		if valid[w] && blocks[w] == block {
+			copy(blocks[w:], blocks[w+1:])
+			// The LRU way is dropped along with the invalidated block
+			// (cleared before the flag compaction, so the way shifted
+			// into the last slot comes up invalid as well).
+			valid[c.ways-1] = false
+			copy(valid[w:], valid[w+1:])
+			valid[c.ways-1] = false
 			return true
 		}
 	}
@@ -387,7 +386,7 @@ type IntegratedNode struct {
 	// poisoned marks 32 B blocks invalidated inside a still-resident
 	// 512 B column buffer line (coherence is per-block; the column
 	// buffer keeps per-block valid bits).
-	poisoned map[uint64]bool
+	poisoned pagedBits
 
 	ColumnFills int64
 }
@@ -403,12 +402,11 @@ func NewIntegratedNode(id int, lat Latencies, withVictim bool, incBytes uint64) 
 // unit (the false-sharing ablation).
 func NewIntegratedNodeUnit(id int, lat Latencies, withVictim bool, incBytes, unit uint64) *IntegratedNode {
 	n := &IntegratedNode{
-		id:       id,
-		lat:      lat,
-		unit:     unit,
-		dcache:   cache.ProposedDCache(),
-		inc:      NewINC(incBytes, unit),
-		poisoned: make(map[uint64]bool),
+		id:     id,
+		lat:    lat,
+		unit:   unit,
+		dcache: cache.ProposedDCache(),
+		inc:    NewINC(incBytes, unit),
 	}
 	if withVictim {
 		n.victim = cache.ProposedVictim()
@@ -426,7 +424,7 @@ func (n *IntegratedNode) Access(addr uint64, write, local bool) (uint64, bool) {
 
 	if local {
 		// Local data flows through the column buffers directly.
-		if n.dcache.Probe(addr) && !n.poisoned[block] {
+		if n.dcache.Probe(addr) && !n.poisoned.get(block) {
 			n.dcache.Access(addr, kind) // LRU update
 			return n.lat.CacheHit, false
 		}
@@ -446,11 +444,11 @@ func (n *IntegratedNode) Access(addr uint64, write, local bool) (uint64, bool) {
 	// staging area for imported data — can serve remote blocks at
 	// processor speed, which is precisely why it matters so much for
 	// WATER (Section 6.2).
-	if n.victim != nil && n.victim.Lookup(addr) && !n.poisoned[block] {
+	if n.victim != nil && n.victim.Lookup(addr) && !n.poisoned.get(block) {
 		return n.lat.VictimHit, false
 	}
 	arrayCost := n.lat.LocalMem + n.lat.INCExtra
-	if n.inc.Lookup(block) && !n.poisoned[block] {
+	if n.inc.Lookup(block) && !n.poisoned.get(block) {
 		if n.victim != nil {
 			n.victim.Insert(addr)
 		}
@@ -461,7 +459,7 @@ func (n *IntegratedNode) Access(addr uint64, write, local bool) (uint64, bool) {
 	// what keeps these misses rare). The caller charges the flat
 	// 80-cycle remote load of Table 6; the INC array update overlaps
 	// the round trip, so no array cost is added here.
-	delete(n.poisoned, block)
+	n.poisoned.clear(block)
 	n.inc.Insert(block)
 	if n.victim != nil {
 		n.victim.Insert(addr)
@@ -483,7 +481,7 @@ func (n *IntegratedNode) fill(addr uint64, kind trace.Kind) {
 	// The whole column is now valid: clear any poisoned blocks in it.
 	lineBase := addr / 512 * 512
 	for b := lineBase / n.unit; b <= (lineBase+511)/n.unit; b++ {
-		delete(n.poisoned, b)
+		n.poisoned.clear(b)
 	}
 }
 
@@ -491,7 +489,7 @@ func (n *IntegratedNode) fill(addr uint64, kind trace.Kind) {
 func (n *IntegratedNode) Invalidate(base, size uint64) {
 	block := base / n.unit
 	if n.dcache.Probe(base) {
-		n.poisoned[block] = true
+		n.poisoned.set(block)
 	}
 	if n.victim != nil {
 		// The unit may span several victim-cache entries.
@@ -513,7 +511,7 @@ type ReferenceNode struct {
 	lat  Latencies
 	unit uint64
 	flc  *cache.SetAssoc
-	slc  map[uint64]bool // infinite second-level cache: block presence
+	slc  pagedBits // infinite second-level cache: block presence
 }
 
 // NewReferenceNode builds a reference node.
@@ -529,7 +527,6 @@ func NewReferenceNodeUnit(id int, lat Latencies, unit uint64) *ReferenceNode {
 		lat:  lat,
 		unit: unit,
 		flc:  cache.NewDirectMapped("FLC 16KB DM 32B", 16<<10, 32),
-		slc:  make(map[uint64]bool),
 	}
 }
 
@@ -540,13 +537,13 @@ func (n *ReferenceNode) Access(addr uint64, write, local bool) (uint64, bool) {
 	if write {
 		kind = trace.Store
 	}
-	if n.flc.Access(addr, kind) && n.slc[block] {
+	if n.flc.Access(addr, kind) && n.slc.get(block) {
 		return n.lat.CacheHit, false
 	}
-	if n.slc[block] {
+	if n.slc.get(block) {
 		return n.lat.SLCHit, false
 	}
-	n.slc[block] = true
+	n.slc.set(block)
 	if local {
 		return n.lat.LocalCold, false
 	}
@@ -558,7 +555,7 @@ func (n *ReferenceNode) Invalidate(base, size uint64) {
 	for a := base; a < base+size; a += 32 {
 		n.flc.Invalidate(a)
 	}
-	delete(n.slc, base/n.unit)
+	n.slc.clear(base / n.unit)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,132 @@
+package coherence
+
+// Flat per-reference state. The SPLASH address spaces are a handful of
+// contiguous regions (internal/splash lays every array in a
+// gigabyte-aligned window), so the directory, page-placement, and
+// per-node block-validity state that used to live in Go maps is kept
+// in sparse paged arrays instead: a lookup is two slice indexings and
+// a mask, and steady-state accesses never allocate or hash. Chunks are
+// allocated lazily the first time an index inside them is touched, so
+// the tables cost memory proportional to the address span actually
+// used, not to the 40-bit simulated address space.
+
+const (
+	// dirChunkShift: 128 Ki directory entries (2 MB) per chunk,
+	// covering 4 MB of address space at the 32 B coherence unit.
+	dirChunkShift = 17
+	dirChunkMask  = 1<<dirChunkShift - 1
+
+	// bitsChunkShift: 1 Mi bits (128 KB) per chunk.
+	bitsChunkShift = 20
+	bitsChunkMask  = 1<<bitsChunkShift - 1
+
+	// homeChunkShift: 16 Ki page entries (32 KB) per chunk, covering
+	// 64 MB of address space at the 4 KB page size.
+	homeChunkShift = 14
+	homeChunkMask  = 1<<homeChunkShift - 1
+)
+
+// dirTable is the home directory as a sparse paged array of dirEntry,
+// indexed by block number. The zero entry is dirHome with no sharers —
+// exactly the state of a never-referenced block.
+type dirTable struct {
+	chunks [][]dirEntry
+}
+
+// entry returns the directory entry for the block, allocating its
+// chunk on first touch.
+func (t *dirTable) entry(block uint64) *dirEntry {
+	ci := block >> dirChunkShift
+	for uint64(len(t.chunks)) <= ci {
+		t.chunks = append(t.chunks, nil)
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		c = make([]dirEntry, 1<<dirChunkShift)
+		t.chunks[ci] = c
+	}
+	return &c[block&dirChunkMask]
+}
+
+// pagedBits is a sparse bitset over uint64 indices (block or page
+// numbers). get on an untouched chunk is false without allocating.
+type pagedBits struct {
+	chunks [][]uint64
+}
+
+func (b *pagedBits) get(i uint64) bool {
+	ci := i >> bitsChunkShift
+	if ci >= uint64(len(b.chunks)) {
+		return false
+	}
+	c := b.chunks[ci]
+	if c == nil {
+		return false
+	}
+	w := i & bitsChunkMask
+	return c[w>>6]&(1<<(w&63)) != 0
+}
+
+func (b *pagedBits) set(i uint64) {
+	ci := i >> bitsChunkShift
+	for uint64(len(b.chunks)) <= ci {
+		b.chunks = append(b.chunks, nil)
+	}
+	c := b.chunks[ci]
+	if c == nil {
+		c = make([]uint64, 1<<(bitsChunkShift-6))
+		b.chunks[ci] = c
+	}
+	w := i & bitsChunkMask
+	c[w>>6] |= 1 << (w & 63)
+}
+
+func (b *pagedBits) clear(i uint64) {
+	ci := i >> bitsChunkShift
+	if ci >= uint64(len(b.chunks)) {
+		return
+	}
+	c := b.chunks[ci]
+	if c == nil {
+		return
+	}
+	w := i & bitsChunkMask
+	c[w>>6] &^= 1 << (w & 63)
+}
+
+// homeTable is the explicit page-placement table (page number -> node),
+// stored as node+1 in int16 chunks so the zero value means "unplaced".
+type homeTable struct {
+	chunks [][]int16
+}
+
+// get returns the placed node for the page, or ok=false when the page
+// falls back to the default interleaving.
+func (h *homeTable) get(page uint64) (int, bool) {
+	ci := page >> homeChunkShift
+	if ci >= uint64(len(h.chunks)) {
+		return 0, false
+	}
+	c := h.chunks[ci]
+	if c == nil {
+		return 0, false
+	}
+	v := c[page&homeChunkMask]
+	if v == 0 {
+		return 0, false
+	}
+	return int(v - 1), true
+}
+
+func (h *homeTable) set(page uint64, node int) {
+	ci := page >> homeChunkShift
+	for uint64(len(h.chunks)) <= ci {
+		h.chunks = append(h.chunks, nil)
+	}
+	c := h.chunks[ci]
+	if c == nil {
+		c = make([]int16, 1<<homeChunkShift)
+		h.chunks[ci] = c
+	}
+	c[page&homeChunkMask] = int16(node + 1)
+}

@@ -1,0 +1,93 @@
+package coherence
+
+import "testing"
+
+func TestPagedBits(t *testing.T) {
+	var b pagedBits
+	// Sparse indices across distinct chunks, including the SPLASH
+	// block-number range (gigabyte-aligned regions / 32 B units).
+	idx := []uint64{0, 1, 63, 64, bitsChunkMask, 1 << bitsChunkShift,
+		0x1_0000_0000 / 32, 0x5_4000_0000 / 32}
+	for _, i := range idx {
+		if b.get(i) {
+			t.Fatalf("bit %d set before any set()", i)
+		}
+		b.clear(i) // clear on an untouched chunk must be a no-op
+		b.set(i)
+		if !b.get(i) {
+			t.Fatalf("bit %d not set after set()", i)
+		}
+	}
+	for _, i := range idx {
+		b.clear(i)
+		if b.get(i) {
+			t.Fatalf("bit %d still set after clear()", i)
+		}
+	}
+	// Neighbours of a set bit stay clear.
+	b.set(1000)
+	if b.get(999) || b.get(1001) {
+		t.Error("set(1000) leaked into neighbouring bits")
+	}
+}
+
+func TestHomeTableUnsetAndOverwrite(t *testing.T) {
+	var h homeTable
+	if _, ok := h.get(42); ok {
+		t.Error("empty table claims a placement")
+	}
+	h.set(42, 0) // node 0 must be distinguishable from "unset"
+	if n, ok := h.get(42); !ok || n != 0 {
+		t.Errorf("get(42) = %d,%v, want 0,true", n, ok)
+	}
+	h.set(42, 3)
+	if n, _ := h.get(42); n != 3 {
+		t.Errorf("overwrite lost: got %d, want 3", n)
+	}
+	if _, ok := h.get(43); ok {
+		t.Error("placement leaked to a neighbouring page")
+	}
+	// A page far into the SPLASH address range (sparse chunk).
+	far := uint64(0x5_0000_0000) / PageSize
+	h.set(far, 7)
+	if n, ok := h.get(far); !ok || n != 7 {
+		t.Errorf("sparse page = %d,%v, want 7,true", n, ok)
+	}
+}
+
+func TestDirTableZeroValueIsHomeState(t *testing.T) {
+	var d dirTable
+	e := d.entry(12345)
+	if e.state != dirHome || e.sharers != 0 || e.owner != 0 {
+		t.Errorf("fresh entry = %+v, want zero dirHome", *e)
+	}
+	e.state = dirDirty
+	e.owner = 3
+	if again := d.entry(12345); again.state != dirDirty || again.owner != 3 {
+		t.Error("entry is not stable storage")
+	}
+	// A distinct block in the same chunk is independent.
+	if d.entry(12346).state != dirHome {
+		t.Error("neighbouring entry contaminated")
+	}
+	// Sparse far entry allocates its own chunk.
+	if d.entry(0x5_4000_0000/32).state != dirHome {
+		t.Error("sparse entry not zero")
+	}
+}
+
+func TestPagedStateNoSteadyStateAllocs(t *testing.T) {
+	var b pagedBits
+	var d dirTable
+	b.set(100)
+	d.entry(100)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.set(101)
+		b.get(101)
+		b.clear(101)
+		d.entry(101).sharers = 1
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state paged-table ops allocate %.1f per round, want 0", allocs)
+	}
+}

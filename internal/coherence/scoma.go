@@ -37,9 +37,9 @@ type SCOMANode struct {
 	dcache *cache.SetAssoc
 	victim *cache.Victim
 
-	frames   map[uint64]bool // allocated local frames for remote pages
-	valid    map[uint64]bool // fetched remote blocks
-	poisoned map[uint64]bool // per-block invalidation inside resident columns
+	frames   pagedBits // allocated local frames for remote pages
+	valid    pagedBits // fetched remote blocks
+	poisoned pagedBits // per-block invalidation inside resident columns
 
 	// Allocations counts page-frame allocations (for reports).
 	Allocations int64
@@ -48,13 +48,10 @@ type SCOMANode struct {
 // NewSCOMANode builds a Simple-COMA node.
 func NewSCOMANode(id int, lat Latencies, withVictim bool) *SCOMANode {
 	n := &SCOMANode{
-		id:       id,
-		lat:      lat,
-		unit:     BlockSize,
-		dcache:   cache.ProposedDCache(),
-		frames:   make(map[uint64]bool),
-		valid:    make(map[uint64]bool),
-		poisoned: make(map[uint64]bool),
+		id:     id,
+		lat:    lat,
+		unit:   BlockSize,
+		dcache: cache.ProposedDCache(),
 	}
 	if withVictim {
 		n.victim = cache.ProposedVictim()
@@ -70,16 +67,16 @@ func (n *SCOMANode) Access(addr uint64, write, local bool) (uint64, bool) {
 	var alloc uint64
 	if !local {
 		page := addr / PageSize
-		if !n.frames[page] {
-			n.frames[page] = true
+		if !n.frames.get(page) {
+			n.frames.set(page)
 			n.Allocations++
 			alloc = PageAllocCycles
 		}
-		if !n.valid[block] || n.poisoned[block] {
+		if !n.valid.get(block) || n.poisoned.get(block) {
 			// Block-grain fetch into the attraction memory; the caller
 			// charges the remote round trip.
-			n.valid[block] = true
-			delete(n.poisoned, block)
+			n.valid.set(block)
+			n.poisoned.clear(block)
 			// The fetched block lands in local DRAM; prime the column
 			// buffer path like a local fill.
 			n.localFill(addr, kind)
@@ -88,11 +85,11 @@ func (n *SCOMANode) Access(addr uint64, write, local bool) (uint64, bool) {
 	}
 	// Local data, or a remote block already resident in the attraction
 	// memory: the ordinary column-buffer path.
-	if n.dcache.Probe(addr) && !n.poisoned[block] {
+	if n.dcache.Probe(addr) && !n.poisoned.get(block) {
 		n.dcache.Access(addr, kind)
 		return alloc + n.lat.CacheHit, false
 	}
-	if n.victim != nil && n.victim.Lookup(addr) && !n.poisoned[block] {
+	if n.victim != nil && n.victim.Lookup(addr) && !n.poisoned.get(block) {
 		return alloc + n.lat.VictimHit, false
 	}
 	n.localFill(addr, kind)
@@ -113,8 +110,8 @@ func (n *SCOMANode) localFill(addr uint64, kind kindT) {
 		// actually holds; poisoned (invalidated) blocks stay poisoned
 		// until re-fetched, so clear poison only here for blocks that
 		// are valid local copies.
-		if n.valid[b] {
-			delete(n.poisoned, b)
+		if n.valid.get(b) {
+			n.poisoned.clear(b)
 		}
 	}
 }
@@ -122,9 +119,9 @@ func (n *SCOMANode) localFill(addr uint64, kind kindT) {
 // Invalidate implements Node.
 func (n *SCOMANode) Invalidate(base, size uint64) {
 	block := base / n.unit
-	delete(n.valid, block)
+	n.valid.clear(block)
 	if n.dcache.Probe(base) {
-		n.poisoned[block] = true
+		n.poisoned.set(block)
 	}
 	if n.victim != nil {
 		for a := base; a < base+size; a += cache.VictimLineSize {

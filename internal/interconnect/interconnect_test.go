@@ -141,3 +141,33 @@ func TestTopologyString(t *testing.T) {
 		t.Error("topology strings")
 	}
 }
+
+// TestMeanHopsMatchesPairwise checks the O(n) vertex-transitive
+// MeanHops shortcut against the brute-force mean over all distinct
+// pairs, across both topologies and square plus rectangular tori.
+func TestMeanHopsMatchesPairwise(t *testing.T) {
+	cases := []struct {
+		topo  Topology
+		nodes int
+	}{
+		{Ring, 2}, {Ring, 5}, {Ring, 8}, {Ring, 33},
+		{Torus2D, 4}, {Torus2D, 16}, {Torus2D, 12}, {Torus2D, 64}, {Torus2D, 256},
+	}
+	for _, c := range cases {
+		f, err := NewFabric(c.topo, c.nodes, Default())
+		if err != nil {
+			t.Fatalf("%v/%d: %v", c.topo, c.nodes, err)
+		}
+		var sum, pairs int
+		for a := 0; a < f.Nodes; a++ {
+			for b := a + 1; b < f.Nodes; b++ {
+				sum += f.Hops(a, b)
+				pairs++
+			}
+		}
+		want := float64(sum) / float64(pairs)
+		if got := f.MeanHops(); got != want {
+			t.Errorf("%v/%d nodes: MeanHops = %v, pairwise mean = %v", c.topo, c.nodes, got, want)
+		}
+	}
+}

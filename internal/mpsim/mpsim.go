@@ -5,29 +5,46 @@
 // through an architecture timing model that delays the issuing
 // processor by the appropriate latency.
 //
-// Timing model: each processor has a virtual clock. A central
-// coordinator admits memory operations in global virtual-time order
-// (a conservative discrete-event scheme): it waits until every
-// runnable processor has posted its next operation, then services the
-// operation with the smallest timestamp (ties broken by processor id),
+// Timing model: each processor has a virtual clock. Memory operations
+// are admitted in global virtual-time order (a conservative
+// discrete-event scheme): no operation is serviced until every
+// runnable processor has posted its next one, and the operation with
+// the smallest timestamp (ties broken by processor id) goes first —
 // which makes simulations deterministic regardless of goroutine
-// scheduling. Locks and barriers are modelled in the coordinator with
-// round-trip costs on the same scale as the paper's remote operations.
+// scheduling. Locks and barriers are modelled in the same admission
+// step with round-trip costs on the scale of the paper's remote
+// operations.
+//
+// Admission structure: there is no dedicated coordinator goroutine,
+// and the hot path is allocation-free. Posted operations live in
+// per-processor preallocated slots and a binary min-heap keyed by
+// (virtual time, processor id); the last runnable processor to post
+// becomes the driver, serving heap-minimum operations inline under a
+// mutex and waking the released processor directly over its reusable
+// one-token channel — one goroutine handoff per admitted operation,
+// and none at all when the driver releases itself. When a serve step
+// leaves exactly one processor runnable, that processor is also handed
+// an admission horizon (the (time, id) key of the earliest other
+// posted operation) and services its own operations inline — no
+// mutex, no channel — until its clock reaches the horizon; this makes
+// single-processor runs and serialised phases of multiprocessor runs
+// handoff-free while preserving the exact global service order.
 //
 // Concurrency invariant: although each simulated processor is a real
-// goroutine, exactly one workload body executes between coordinator
-// handoffs — every other body is blocked waiting for its operation
-// reply, and the coordinator will not grant a second reply until the
-// running body posts its next operation. Workload code may therefore
+// goroutine, a workload body only executes between its grant and its
+// next post, and grants are only issued by the driver once all
+// previously released bodies have posted. Workload code may therefore
 // update shared host-side data (matrices, particle arrays) without
 // additional locking; all updates are totally ordered through the
-// coordinator's channels.
+// admission mutex and the per-processor grant channels.
 package mpsim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Memory is the architecture timing model (implemented by
@@ -83,6 +100,7 @@ func (p *Proc) Write(addr uint64) {
 func (p *Proc) Compute(n uint64) { p.pending += n }
 
 // Lock acquires the numbered lock (FIFO, with handoff latency).
+// Lock ids must be small non-negative integers.
 func (p *Proc) Lock(id int) { p.op(opLock, 0, false, id) }
 
 // Unlock releases the numbered lock.
@@ -101,25 +119,107 @@ const (
 	opDone
 )
 
+// request is one posted operation. Each processor owns one slot in
+// sim.slots for its lifetime: the body goroutine fills the slot while
+// posting (under the admission mutex), and the slot is only read by
+// whichever driver serves the operation — so no request is ever copied
+// or heap-allocated per operation.
 type request struct {
-	proc    int
-	kind    opKind
-	addr    uint64
-	write   bool
-	lockID  int
-	compute uint64
-	reply   chan struct{}
+	kind   opKind
+	write  bool
+	addr   uint64
+	lockID int
 }
 
 func (p *Proc) op(kind opKind, addr uint64, write bool, lockID int) {
-	r := request{
-		proc: p.ID, kind: kind, addr: addr, write: write,
-		lockID: lockID, compute: p.pending,
-		reply: make(chan struct{}),
+	s := p.sim
+	if s.fast[p.ID].ok && p.selfServe(kind, addr, write, lockID) {
+		return
 	}
+	pid := int32(p.ID)
+	s.mu.Lock()
+	slot := &s.slots[pid]
+	slot.kind = kind
+	slot.addr = addr
+	slot.write = write
+	slot.lockID = lockID
+	s.time[pid] += p.pending
 	p.pending = 0
-	p.sim.reqCh <- r
-	<-r.reply
+	s.push(pid)
+	s.running--
+	if s.running == 0 {
+		// Last runnable body to post: this goroutine becomes the driver
+		// and serves posted operations in (time, id) order until it
+		// grants somebody — possibly itself, in which case await
+		// consumes the gate without parking.
+		s.drive()
+	}
+	// Spin for the grant only when it looked imminent at post time:
+	// this processor's own operation leads the admission heap, so the
+	// next driver pass serves it first.
+	spin := len(s.heap) > 0 && s.heap[0] == pid
+	s.mu.Unlock()
+	p.await(spin)
+}
+
+// selfServe runs one operation inline in the processor's own
+// goroutine, without a coordinator round trip. It is only entered when
+// the last grant carried self-serve rights (this proc was the sole
+// runnable processor, so it owns the coordinator state exclusively
+// until its next post), and it only serves operations strictly below
+// the admission horizon — the (time, id) key of the earliest other
+// posted operation — so the global service order is exactly what the
+// coordinator would have produced. Operations it cannot serve
+// (synchronisation handoffs, anything at or past the horizon) return
+// false and take the normal posted path.
+func (p *Proc) selfServe(kind opKind, addr uint64, write bool, lockID int) bool {
+	s := p.sim
+	pid := int32(p.ID)
+	h := &s.fast[p.ID]
+	t := s.time[p.ID] + p.pending
+	if t > h.time || (t == h.time && pid >= h.id) {
+		return false
+	}
+	switch kind {
+	case opAccess:
+		p.pending = 0
+		var lat uint64
+		if s.tmem != nil {
+			lat = s.tmem.AccessAt(p.ID, addr, write, t)
+		} else {
+			lat = s.mem.Access(p.ID, addr, write)
+		}
+		s.time[p.ID] = t + lat
+		s.accesses++
+		return true
+	case opLock:
+		l := s.lock(lockID)
+		if l.held {
+			return false // will block: the coordinator parks it
+		}
+		p.pending = 0
+		s.lockOps++
+		l.held = true
+		l.owner = pid
+		if l.lastFree > t {
+			t = l.lastFree
+		}
+		s.time[p.ID] = t + s.costs.LockAcquire
+		return true
+	case opUnlock:
+		l := s.lock(lockID)
+		if !l.held || l.owner != pid || len(l.waiters) > 0 {
+			// Handoffs (and misuse panics) go through the coordinator.
+			return false
+		}
+		p.pending = 0
+		s.lockOps++
+		s.time[p.ID] = t
+		l.lastFree = t
+		l.held = false
+		return true
+	}
+	return false // barriers and done always post
 }
 
 // Result summarises one simulation run.
@@ -153,34 +253,105 @@ func (r Result) Imbalance() float64 {
 // sim is the coordinator state.
 type sim struct {
 	mem   Memory
+	tmem  TimedMemory // non-nil when mem implements TimedMemory
 	costs SyncCosts
 	n     int
 
-	reqCh chan request
+	mu    sync.Mutex      // admission mutex: guards all fields below
+	gates []gate          // per-proc spin-then-park grant gates
+	reply []chan struct{} // per-proc park channels, used when a spin misses
+	slots []request       // per-proc posted-operation slots
 
 	time    []uint64
-	posted  []*request
-	blocked []bool // waiting on a lock or barrier (no posted op expected)
-	done    []bool
+	heap    []int32 // min-heap of posted procs keyed by (time, proc id)
+	running int     // bodies currently executing (granted, post not yet arrived)
+	alive   int     // procs that have not finished
 
-	locks map[int]*lockState
-	bar   *barrierState
+	locks []lockState // keyed by lock id
+	bar   barrierState
+
+	fast []horizon // per-proc self-serve rights, written before a grant
 
 	accesses int64
 	lockOps  int64
 	barriers int64
 }
 
+// horizon is a processor's self-serve admission bound: the (time, id)
+// key of the earliest operation posted by any other processor at grant
+// time. The driver writes it immediately before granting the
+// processor, and only that processor reads it (synchronised by the
+// grant gate), so there is never a concurrent access.
+type horizon struct {
+	time uint64
+	id   int32
+	ok   bool
+}
+
+// gate is a one-shot grant flag between the driver and a waiting
+// processor, padded to a cache line so spinning waiters do not false-
+// share. States: 0 no grant pending, 1 granted, 2 waiter parked on the
+// reply channel. A waiter whose grant is likely imminent (its
+// operation is at the top of the admission heap) spins on the gate and
+// usually consumes the grant without a goroutine park/wake at all; the
+// channel is the fallback. The atomic gate transfers state ownership:
+// the driver's writes under the mutex happen-before the waiter's
+// successful CAS of 1→0.
+type gate struct {
+	v atomic.Uint32
+	_ [15]uint32
+}
+
+// spinIters bounds the gate spin. The mid-spin Gosched keeps
+// GOMAXPROCS=1 runs cheap: it yields to the driver, which posts the
+// grant, and the resumed spinner consumes it without a park.
+const spinIters = 1536
+
+// await consumes this processor's next grant: first the fast gate
+// (optionally spinning when the grant looked imminent at post time),
+// then the park channel.
+func (p *Proc) await(spin bool) {
+	g := &p.sim.gates[p.ID].v
+	if g.CompareAndSwap(1, 0) {
+		return
+	}
+	if spin {
+		for i := 0; i < spinIters; i++ {
+			if g.Load() == 1 && g.CompareAndSwap(1, 0) {
+				return
+			}
+			if i == 512 {
+				runtime.Gosched()
+			}
+		}
+	}
+	if g.CompareAndSwap(0, 2) {
+		<-p.sim.reply[p.ID] // driver saw the parked state and sent a token
+		return
+	}
+	// The grant landed between the spin and the CAS.
+	g.Store(0)
+}
+
+// wake delivers a grant to pid: through the gate if the waiter is
+// still spinning (or has not reached await yet), through the channel
+// if it already parked.
+func (s *sim) wake(pid int32) {
+	if !s.gates[pid].v.CompareAndSwap(0, 1) {
+		s.gates[pid].v.Store(0)
+		s.reply[pid] <- struct{}{}
+	}
+}
+
 type lockState struct {
 	held     bool
-	owner    int
-	lastFree uint64 // virtual time the lock was last released
-	waiters  []*request
+	owner    int32
+	lastFree uint64  // virtual time the lock was last released
+	waiters  []int32 // FIFO of blocked proc ids
 }
 
 type barrierState struct {
-	waiting []*request
-	arrived int
+	waiting []int32 // arrived (blocked) proc ids; len() is the arrival count
 	maxTime uint64
 }
 
@@ -191,29 +362,54 @@ func Run(n int, mem Memory, costs SyncCosts, body func(p *Proc)) Result {
 		panic("mpsim: need at least one processor")
 	}
 	s := &sim{
-		mem:     mem,
-		costs:   costs,
-		n:       n,
-		reqCh:   make(chan request, n),
-		time:    make([]uint64, n),
-		posted:  make([]*request, n),
-		blocked: make([]bool, n),
-		done:    make([]bool, n),
-		locks:   make(map[int]*lockState),
-		bar:     &barrierState{},
+		mem:   mem,
+		costs: costs,
+		n:     n,
+		gates: make([]gate, n),
+		reply: make([]chan struct{}, n),
+		slots: make([]request, n),
+		time:  make([]uint64, n),
+		heap:  make([]int32, 0, n),
+		fast:  make([]horizon, n),
+		bar:   barrierState{waiting: make([]int32, 0, n)},
+
+		running: n,
+		alive:   n,
 	}
+	s.tmem, _ = mem.(TimedMemory)
+	// Admission panics (deadlock, lock misuse) are raised inside a
+	// processor goroutine — the one driving at the time — and rethrown
+	// here so callers can recover them as before.
+	panicCh := make(chan any, 1)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		s.reply[i] = make(chan struct{}, 1)
 		p := &Proc{ID: i, N: n, sim: s}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					select {
+					case panicCh <- r:
+					default:
+					}
+				}
+			}()
 			body(p)
 			p.op(opDone, 0, false, 0)
 		}()
 	}
-	s.loop()
-	wg.Wait()
+	allDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDone)
+	}()
+	select {
+	case <-allDone:
+	case r := <-panicCh:
+		panic(r)
+	}
 
 	res := Result{
 		Procs:      n,
@@ -230,143 +426,199 @@ func Run(n int, mem Memory, costs SyncCosts, body func(p *Proc)) Result {
 	return res
 }
 
-// loop is the coordinator: gather one posted op per runnable proc,
-// serve the earliest, repeat until all procs are done.
-func (s *sim) loop() {
-	for {
-		if s.allDone() {
-			return
-		}
-		// Collect until every runnable, non-done proc has posted.
-		for s.missingPosts() {
-			r := <-s.reqCh
-			rr := r
-			s.time[r.proc] += r.compute
-			s.posted[r.proc] = &rr
-		}
-		idx := s.earliest()
-		if idx < 0 {
+// drive is the coordinator logic, run inline (under s.mu) by the last
+// runnable processor to post: serve posted operations in (time, id)
+// order until at least one body is released to run. There is no
+// dedicated coordinator goroutine — the admitting handoff goes
+// directly from the posting processor to the processor it releases,
+// which halves the goroutine wakeups per admitted operation, and a
+// processor whose own operation is the global minimum grants itself
+// and continues without parking at all.
+func (s *sim) drive() {
+	for s.running == 0 {
+		if len(s.heap) == 0 {
+			if s.alive == 0 {
+				return
+			}
 			// Everyone alive is blocked: this is a workload deadlock
 			// (e.g. a barrier not joined by all procs). Fail loudly.
 			panic("mpsim: deadlock — all processors blocked")
 		}
-		r := s.posted[idx]
-		s.posted[idx] = nil
-		s.serve(r)
+		s.serve(s.pop())
 	}
 }
 
-func (s *sim) allDone() bool {
-	for _, d := range s.done {
-		if !d {
-			return false
-		}
-	}
-	return true
+// less orders posted procs by (virtual time, proc id) — the admission
+// order the package doc promises.
+func (s *sim) less(a, b int32) bool {
+	ta, tb := s.time[a], s.time[b]
+	return ta < tb || (ta == tb && a < b)
 }
 
-func (s *sim) missingPosts() bool {
-	for i := 0; i < s.n; i++ {
-		if !s.done[i] && !s.blocked[i] && s.posted[i] == nil {
-			return true
+// push adds a posted proc to the admission heap. The backing array is
+// preallocated to n, so steady-state pushes never allocate.
+func (s *sim) push(pid int32) {
+	h := append(s.heap, pid)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(h[i], h[parent]) {
+			break
 		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	return false
+	s.heap = h
 }
 
-func (s *sim) earliest() int {
-	best := -1
-	for i := 0; i < s.n; i++ {
-		if s.posted[i] == nil {
-			continue
+// pop removes and returns the earliest posted proc.
+func (s *sim) pop() int32 {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && s.less(h[l], h[min]) {
+			min = l
 		}
-		if best < 0 || s.time[i] < s.time[best] {
-			best = i
+		if r < len(h) && s.less(h[r], h[min]) {
+			min = r
 		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
 	}
-	return best
+	s.heap = h
+	return top
 }
 
-func (s *sim) serve(r *request) {
+// grant releases the proc to run its body until its next post. The
+// reply channels are buffered, so the send never blocks the driver.
+// It revokes any stale self-serve rights: the plain grant is used
+// whenever another body may run concurrently (lock handoffs, barrier
+// releases).
+func (s *sim) grant(pid int32) {
+	s.fast[pid].ok = false
+	s.running++
+	s.wake(pid)
+}
+
+// grantFast is grant for serve steps that release exactly one
+// processor. When no other body is runnable (running == 0 — always
+// true for single-grant steps, by the drive-loop invariant), the
+// granted processor becomes the sole owner of the simulation state
+// until its next post, so it is handed the admission horizon and may
+// serve its own operations inline, with no mutex and no handoff,
+// while it stays below that horizon.
+func (s *sim) grantFast(pid int32) {
+	if s.running != 0 {
+		s.grant(pid)
+		return
+	}
+	h := &s.fast[pid]
+	if len(s.heap) > 0 {
+		top := s.heap[0]
+		h.time, h.id, h.ok = s.time[top], top, true
+	} else {
+		h.time, h.id, h.ok = ^uint64(0), int32(1<<30), true
+	}
+	s.running++
+	s.wake(pid)
+}
+
+// lock returns the state for the lock id, growing the slot table on
+// first use (lock ids are dense small integers in every workload).
+func (s *sim) lock(id int) *lockState {
+	if id < 0 {
+		panic(fmt.Sprintf("mpsim: negative lock id %d", id))
+	}
+	for len(s.locks) <= id {
+		s.locks = append(s.locks, lockState{})
+	}
+	return &s.locks[id]
+}
+
+func (s *sim) serve(pid int32) {
+	r := &s.slots[pid]
 	switch r.kind {
 	case opAccess:
 		var lat uint64
-		if tm, ok := s.mem.(TimedMemory); ok {
-			lat = tm.AccessAt(r.proc, r.addr, r.write, s.time[r.proc])
+		if s.tmem != nil {
+			lat = s.tmem.AccessAt(int(pid), r.addr, r.write, s.time[pid])
 		} else {
-			lat = s.mem.Access(r.proc, r.addr, r.write)
+			lat = s.mem.Access(int(pid), r.addr, r.write)
 		}
-		s.time[r.proc] += lat
+		s.time[pid] += lat
 		s.accesses++
-		close(r.reply)
+		s.grantFast(pid)
 
 	case opLock:
 		s.lockOps++
-		l := s.locks[r.lockID]
-		if l == nil {
-			l = &lockState{}
-			s.locks[r.lockID] = l
-		}
+		l := s.lock(r.lockID)
 		if !l.held {
 			l.held = true
-			l.owner = r.proc
-			t := s.time[r.proc]
+			l.owner = pid
+			t := s.time[pid]
 			if l.lastFree > t {
 				t = l.lastFree
 			}
-			s.time[r.proc] = t + s.costs.LockAcquire
-			close(r.reply)
+			s.time[pid] = t + s.costs.LockAcquire
+			s.grantFast(pid)
 			return
 		}
-		// Block until handoff.
-		s.blocked[r.proc] = true
-		l.waiters = append(l.waiters, r)
+		// Block until handoff (no grant: the proc posts nothing more
+		// until the lock holder releases it).
+		l.waiters = append(l.waiters, pid)
 
 	case opUnlock:
 		s.lockOps++
-		l := s.locks[r.lockID]
-		if l == nil || !l.held || l.owner != r.proc {
+		l := s.lock(r.lockID)
+		if !l.held || l.owner != pid {
 			panic(fmt.Sprintf("mpsim: proc %d unlocking lock %d it does not hold",
-				r.proc, r.lockID))
+				pid, r.lockID))
 		}
-		now := s.time[r.proc]
+		now := s.time[pid]
 		l.lastFree = now
 		if len(l.waiters) > 0 {
 			w := l.waiters[0]
-			l.waiters = l.waiters[1:]
-			l.owner = w.proc
-			s.blocked[w.proc] = false
-			t := s.time[w.proc]
+			l.waiters = l.waiters[:copy(l.waiters, l.waiters[1:])]
+			l.owner = w
+			t := s.time[w]
 			if now > t {
 				t = now
 			}
-			s.time[w.proc] = t + s.costs.LockHandoff
-			close(w.reply)
-		} else {
-			l.held = false
+			s.time[w] = t + s.costs.LockHandoff
+			// Two grants: the waiter and the unlocker run concurrently,
+			// so neither may self-serve.
+			s.grant(w)
+			s.grant(pid)
+			return
 		}
-		close(r.reply)
+		l.held = false
+		s.grantFast(pid)
 
 	case opBarrier:
 		s.barriers++
-		b := s.bar
-		b.waiting = append(b.waiting, r)
-		b.arrived++
-		if s.time[r.proc] > b.maxTime {
-			b.maxTime = s.time[r.proc]
+		s.bar.waiting = append(s.bar.waiting, pid)
+		if s.time[pid] > s.bar.maxTime {
+			s.bar.maxTime = s.time[pid]
 		}
-		if b.arrived < s.alive() {
-			s.blocked[r.proc] = true
-			return
+		if len(s.bar.waiting) >= s.alive {
+			s.releaseBarrier()
 		}
-		s.releaseBarrier()
 
 	case opDone:
-		s.done[r.proc] = true
-		close(r.reply)
+		s.alive--
+		s.wake(pid) // final grant: the body has returned
 		// A processor finishing can complete a barrier among the
 		// remaining ones.
-		if s.bar.arrived > 0 && s.bar.arrived >= s.alive() {
+		if len(s.bar.waiting) > 0 && len(s.bar.waiting) >= s.alive {
 			s.releaseBarrier()
 		}
 	}
@@ -376,23 +628,21 @@ func (s *sim) serve(r *request) {
 // completion time.
 func (s *sim) releaseBarrier() {
 	release := s.bar.maxTime + s.costs.Barrier
-	for _, w := range s.bar.waiting {
-		s.time[w.proc] = release
-		s.blocked[w.proc] = false
-		close(w.reply)
-	}
-	s.bar = &barrierState{}
-}
-
-// alive counts processors that have not finished.
-func (s *sim) alive() int {
-	n := 0
-	for _, d := range s.done {
-		if !d {
-			n++
+	if len(s.bar.waiting) == 1 {
+		// Sole waiter (single-processor runs, or the last survivor of a
+		// shrinking barrier): it resumes alone, so it keeps self-serve
+		// rights across the barrier.
+		w := s.bar.waiting[0]
+		s.time[w] = release
+		s.grantFast(w)
+	} else {
+		for _, w := range s.bar.waiting {
+			s.time[w] = release
+			s.grant(w)
 		}
 	}
-	return n
+	s.bar.waiting = s.bar.waiting[:0]
+	s.bar.maxTime = 0
 }
 
 // Speedup computes relative speedups from a series of Results ordered
