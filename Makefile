@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci vet results quick-results clean
+.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci vet lint results quick-results results-check clean
 
 all: build vet test
 
@@ -12,6 +12,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet, pinned so local and CI agree. Fetches the
+# tool through the module proxy on first use (needs network; CI runs it,
+# offline sandboxes can skip).
+STATICCHECK_VERSION ?= 2024.1.1
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...
@@ -53,6 +60,14 @@ results:
 # CI-sized run (~1 minute).
 quick-results:
 	$(GO) run ./cmd/iramsim -quick all
+
+# Regenerate the full results and compare byte-for-byte against the
+# checked-in golden transcript (testdata/full_results.txt). A diff means
+# the reproduction's numbers moved: either a regression, or a deliberate
+# change that should update the golden (cp full_results.txt
+# testdata/full_results.txt) with an explanation in the commit.
+results-check: results
+	diff -u testdata/full_results.txt full_results.txt
 
 clean:
 	rm -f test_output.txt bench_output.txt

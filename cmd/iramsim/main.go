@@ -15,6 +15,7 @@
 //	-budget N     per-workload instruction budget
 //	-seed N       Monte-Carlo seed
 //	-procs list   processor counts for fig13..fig17 (e.g. 1,2,4,8,16)
+//	-machine f    JSON machine description overriding core.Proposed()
 //	-j N          worker goroutines for the experiment sweep
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f on exit
@@ -51,6 +52,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "per-workload instruction budget (0 = default)")
 	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts for fig13..fig17")
+	machine := flag.String("machine", "", "JSON machine description file (overrides the paper's integrated device)")
 	workers := flag.Int("j", runtime.NumCPU(), "worker goroutines for the experiment sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,12 +65,12 @@ func main() {
 
 	// mainErr carries the defers (profile flushes) that os.Exit would
 	// skip; fatal runs only after they complete.
-	if err := mainErr(*quick, *budget, *seed, *procsFlag, *workers, *cpuprofile, *memprofile); err != nil {
+	if err := mainErr(*quick, *budget, *seed, *procsFlag, *machine, *workers, *cpuprofile, *memprofile); err != nil {
 		fatal(err)
 	}
 }
 
-func mainErr(quick bool, budget, seed int64, procsFlag string, workers int, cpuprofile, memprofile string) error {
+func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers int, cpuprofile, memprofile string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -113,6 +115,13 @@ func mainErr(quick bool, budget, seed int64, procsFlag string, workers int, cpup
 			procs = append(procs, n)
 		}
 		opts.Procs = procs
+	}
+	if machine != "" {
+		dev, err := core.LoadFile(machine)
+		if err != nil {
+			return err
+		}
+		opts.Machine = &dev
 	}
 
 	names := flag.Args()
@@ -160,7 +169,7 @@ func jobFor(name string, opts experiments.Options, ms *experiments.MeasurementSe
 	case "spec":
 		return sweep.Single(name, 0, func() (interface{}, error) {
 			var buf bytes.Buffer
-			for _, line := range core.Proposed().Datasheet() {
+			for _, line := range opts.Device().Datasheet() {
 				fmt.Fprintln(&buf, line)
 			}
 			fmt.Fprintln(&buf)
@@ -188,7 +197,7 @@ func jobFor(name string, opts experiments.Options, ms *experiments.MeasurementSe
 	case "fig910":
 		return sweep.Single(name, 0, func() (interface{}, error) {
 			var buf bytes.Buffer
-			for _, cfg := range []cpumodel.SystemConfig{cpumodel.Integrated(), cpumodel.Reference()} {
+			for _, cfg := range []cpumodel.SystemConfig{cpumodel.ConfigFor(opts.Device()), cpumodel.Reference()} {
 				m, err := cpumodel.Build(cfg, cpumodel.AppRates{
 					Name: "shape", BaseCPI: 1, LoadFrac: 0.25, StoreFrac: 0.1,
 					IHit: 0.95, LoadHit: 0.95, StoreHit: 0.95,
@@ -273,7 +282,8 @@ func emit(out io.Writer, name string, v tabler) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: iramsim [flags] <experiment> [...]")
-	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} scoma fabric selftest workloads fig910 all")
+	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} designspace scoma fabric selftest workloads fig910 all")
+	fmt.Fprintln(os.Stderr, "machine descriptions: -machine examples/machine-32bank.json (see examples/)")
 	flag.PrintDefaults()
 }
 

@@ -25,6 +25,8 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mpsim"
 	"repro/internal/paperref"
 	"repro/internal/trace"
 )
@@ -33,6 +35,14 @@ import (
 // coherence is maintained on 32-byte blocks, never on the 512-byte
 // cache lines (false sharing would outweigh the prefetching benefits).
 const BlockSize = 32
+
+// DefaultColumnBytes is the paper's DRAM column (and cache line) size;
+// device-derived constructors use the device's own column size instead.
+const DefaultColumnBytes = 512
+
+// unitsPerColumn is how many coherence units one paper column holds —
+// the INC's set granularity (Figure 6: 7 data blocks + 1 tag block).
+const unitsPerColumn = DefaultColumnBytes / BlockSize
 
 // PageSize is the home-placement granularity.
 const PageSize = 4096
@@ -66,6 +76,32 @@ func DefaultLatencies() Latencies {
 		LocalCold:  12,
 		RemoteLoad: uint64(t.RemoteLoad),
 		InvalRT:    uint64(t.InvalidationRT),
+	}
+}
+
+// LatenciesFor derives the Table 6 latency set from a machine
+// description: the local-memory cost is the DRAM access time and the
+// per-flit fabric cost follows from the coherence unit size and the
+// device's raw I/O bandwidth. For core.Proposed() this reproduces
+// DefaultLatencies() exactly (32 B at 1.25 GB/s ≈ 25 ns = 5 cycles).
+func LatenciesFor(d core.Device) Latencies {
+	l := DefaultLatencies()
+	l.LocalMem = uint64(d.DRAM.AccessCycles)
+	if bw := d.IOBandwidthGBs(); bw > 0 {
+		l.FlitCycles = uint64(float64(d.CoherenceUnitBytes) * float64(d.ClockMHz) * 1e6 / (bw * 1e9))
+	}
+	return l
+}
+
+// SyncCosts derives the multiprocessor synchronisation costs from the
+// fabric latencies: uncontended lock acquires, lock handoffs, and
+// barrier releases are all remote round trips (Table 6's RemoteLoad
+// scale, which is where mpsim.DefaultSyncCosts' 80s come from).
+func (l Latencies) SyncCosts() mpsim.SyncCosts {
+	return mpsim.SyncCosts{
+		LockAcquire: l.RemoteLoad,
+		LockHandoff: l.RemoteLoad,
+		Barrier:     l.RemoteLoad,
 	}
 }
 
@@ -288,13 +324,22 @@ func NewINC(capacityBytes, unitBytes uint64) *INC {
 // NewINCWays builds an INC with explicit associativity (for the
 // ablation study; the paper's column organisation fixes it at 7).
 func NewINCWays(capacityBytes, unitBytes uint64, ways int) *INC {
+	return NewINCGeom(capacityBytes, unitBytes, ways, unitsPerColumn)
+}
+
+// NewINCGeom builds an INC whose sets each span unitsPerSet units of
+// capacity — one DRAM column in the device organisation, so for a
+// 512 B column with 32 B units each column holds 7 data blocks plus
+// the tag block (Figure 6) and sets = columns. Larger units keep the
+// same associativity with proportionally fewer sets.
+func NewINCGeom(capacityBytes, unitBytes uint64, ways, unitsPerSet int) *INC {
 	if ways < 1 {
 		panic("coherence: INC needs at least one way")
 	}
-	// With the paper's 32 B units, each 512 B column holds 7 data
-	// blocks plus the tag block (Figure 6); sets = columns. Larger
-	// units keep the 7-way organisation with proportionally fewer sets.
-	sets := int(capacityBytes / (16 * unitBytes)) // 512 B column per 16 units @32 B
+	if unitsPerSet < 1 {
+		panic("coherence: INC needs at least one unit per set")
+	}
+	sets := int(capacityBytes / (uint64(unitsPerSet) * unitBytes))
 	if sets < 1 {
 		sets = 1
 	}
@@ -377,15 +422,17 @@ func (c *INC) Invalidate(block uint64) bool {
 // IntegratedNode is the proposed processor/memory device as a
 // multiprocessor node.
 type IntegratedNode struct {
-	id     int
-	lat    Latencies
-	unit   uint64 // coherence unit (32 B in the paper)
-	dcache *cache.SetAssoc
-	victim *cache.Victim // nil when the victim cache is disabled
-	inc    *INC
-	// poisoned marks 32 B blocks invalidated inside a still-resident
-	// 512 B column buffer line (coherence is per-block; the column
-	// buffer keeps per-block valid bits).
+	id         int
+	lat        Latencies
+	unit       uint64 // coherence unit (32 B in the paper)
+	line       uint64 // column (cache line) size (512 B in the paper)
+	victimLine uint64 // victim cache entry size (32 B in the paper)
+	dcache     *cache.SetAssoc
+	victim     *cache.Victim // nil when the victim cache is disabled
+	inc        *INC
+	// poisoned marks coherence units invalidated inside a still-resident
+	// column buffer line (coherence is per-unit; the column buffer keeps
+	// per-unit valid bits).
 	poisoned pagedBits
 
 	ColumnFills int64
@@ -402,14 +449,41 @@ func NewIntegratedNode(id int, lat Latencies, withVictim bool, incBytes uint64) 
 // unit (the false-sharing ablation).
 func NewIntegratedNodeUnit(id int, lat Latencies, withVictim bool, incBytes, unit uint64) *IntegratedNode {
 	n := &IntegratedNode{
-		id:     id,
-		lat:    lat,
-		unit:   unit,
-		dcache: cache.ProposedDCache(),
-		inc:    NewINC(incBytes, unit),
+		id:         id,
+		lat:        lat,
+		unit:       unit,
+		line:       DefaultColumnBytes,
+		victimLine: cache.VictimLineSize,
+		dcache:     cache.ProposedDCache(),
+		inc:        NewINC(incBytes, unit),
 	}
 	if withVictim {
 		n.victim = cache.ProposedVictim()
+	}
+	return n
+}
+
+// NewIntegratedNodeDevice builds a node whose cache organisation —
+// column buffers, victim cache, and INC geometry — is derived from a
+// machine description instead of the paper literals. For
+// core.Proposed() this matches NewIntegratedNodeUnit exactly.
+func NewIntegratedNodeDevice(id int, lat Latencies, withVictim bool, unit uint64, d core.Device) *IntegratedNode {
+	// Each INC set spans one column of capacity regardless of the
+	// ablation unit, as in the legacy constructor.
+	perSet := d.DRAM.ColumnBytes / d.CoherenceUnitBytes
+	n := &IntegratedNode{
+		id:         id,
+		lat:        lat,
+		unit:       unit,
+		line:       uint64(d.DRAM.ColumnBytes),
+		victimLine: uint64(d.VictimLineBytes),
+		dcache: cache.NewSetAssoc(
+			fmt.Sprintf("%dKB %d-way %dB device D-cache", d.DCacheBytes>>10, d.DCacheWays, d.DCacheLineBytes),
+			uint64(d.DCacheBytes), uint64(d.DCacheLineBytes), d.DCacheWays),
+		inc: NewINCGeom(uint64(d.INCBytes), unit, d.INCWays, perSet),
+	}
+	if withVictim && d.VictimEntries > 0 {
+		n.victim = cache.NewVictim(d.VictimEntries, uint64(d.VictimLineBytes))
 	}
 	return n
 }
@@ -467,20 +541,20 @@ func (n *IntegratedNode) Access(addr uint64, write, local bool) (uint64, bool) {
 	return 0, true
 }
 
-// fill loads the 512 B column containing addr into the D-cache,
-// staging the evicted line's MRU sub-block into the victim cache.
+// fill loads the column containing addr into the D-cache, staging the
+// evicted line's MRU sub-block into the victim cache.
 func (n *IntegratedNode) fill(addr uint64, kind trace.Kind) {
 	if n.victim != nil {
 		n.dcache.OnEvict = func(e cache.Eviction) {
-			sub := e.Addr + uint64(e.LastSub)/cache.VictimLineSize*cache.VictimLineSize
+			sub := e.Addr + uint64(e.LastSub)/n.victimLine*n.victimLine
 			n.victim.Insert(sub)
 		}
 	}
 	n.dcache.Access(addr, kind)
 	n.ColumnFills++
 	// The whole column is now valid: clear any poisoned blocks in it.
-	lineBase := addr / 512 * 512
-	for b := lineBase / n.unit; b <= (lineBase+511)/n.unit; b++ {
+	lineBase := addr / n.line * n.line
+	for b := lineBase / n.unit; b <= (lineBase+n.line-1)/n.unit; b++ {
 		n.poisoned.clear(b)
 	}
 }
@@ -493,7 +567,7 @@ func (n *IntegratedNode) Invalidate(base, size uint64) {
 	}
 	if n.victim != nil {
 		// The unit may span several victim-cache entries.
-		for a := base; a < base+size; a += cache.VictimLineSize {
+		for a := base; a < base+size; a += n.victimLine {
 			n.victim.Invalidate(a)
 		}
 	}
@@ -507,11 +581,12 @@ func (n *IntegratedNode) Invalidate(base, size uint64) {
 // ReferenceNode is the comparison CC-NUMA node: 16 KB direct-mapped
 // FLC with 32 B lines and an infinite SLC.
 type ReferenceNode struct {
-	id   int
-	lat  Latencies
-	unit uint64
-	flc  *cache.SetAssoc
-	slc  pagedBits // infinite second-level cache: block presence
+	id      int
+	lat     Latencies
+	unit    uint64
+	flcLine uint64 // first-level cache line size (32 B in the paper)
+	flc     *cache.SetAssoc
+	slc     pagedBits // infinite second-level cache: block presence
 }
 
 // NewReferenceNode builds a reference node.
@@ -522,11 +597,22 @@ func NewReferenceNode(id int, lat Latencies) *ReferenceNode {
 // NewReferenceNodeUnit builds a reference node with a non-default
 // coherence unit.
 func NewReferenceNodeUnit(id int, lat Latencies, unit uint64) *ReferenceNode {
+	return NewReferenceNodeDevice(id, lat, unit, core.Reference())
+}
+
+// NewReferenceNodeDevice builds a reference node whose first-level
+// cache is derived from a machine description (the D-cache fields of a
+// non-integrated device). core.Reference() reproduces the paper's
+// 16 KB direct-mapped FLC with 32 B lines.
+func NewReferenceNodeDevice(id int, lat Latencies, unit uint64, d core.Device) *ReferenceNode {
 	return &ReferenceNode{
-		id:   id,
-		lat:  lat,
-		unit: unit,
-		flc:  cache.NewDirectMapped("FLC 16KB DM 32B", 16<<10, 32),
+		id:      id,
+		lat:     lat,
+		unit:    unit,
+		flcLine: uint64(d.DCacheLineBytes),
+		flc: cache.NewSetAssoc(
+			fmt.Sprintf("FLC %dKB %d-way %dB", d.DCacheBytes>>10, d.DCacheWays, d.DCacheLineBytes),
+			uint64(d.DCacheBytes), uint64(d.DCacheLineBytes), d.DCacheWays),
 	}
 }
 
@@ -552,7 +638,8 @@ func (n *ReferenceNode) Access(addr uint64, write, local bool) (uint64, bool) {
 
 // Invalidate implements Node.
 func (n *ReferenceNode) Invalidate(base, size uint64) {
-	for a := base; a < base+size; a += 32 {
+	// The unit may span several FLC lines.
+	for a := base; a < base+size; a += n.flcLine {
 		n.flc.Invalidate(a)
 	}
 	n.slc.clear(base / n.unit)
@@ -601,27 +688,37 @@ func NewConfiguredMachine(cfg Config, n int) *Machine {
 // lines must NOT be used as coherence units — this constructor lets
 // the ablation experiments demonstrate why.
 func NewConfiguredMachineUnit(cfg Config, n int, unit uint64) *Machine {
+	return NewConfiguredMachineDevices(cfg, n, unit, core.Proposed(), core.Reference())
+}
+
+// NewConfiguredMachineDevices builds a machine of the given config
+// whose node organisation and latencies are derived from a pair of
+// machine descriptions: prop describes the integrated device (and sets
+// the fabric latencies for every config), ref the conventional CC-NUMA
+// node. With the default devices this reproduces the paper's machines
+// exactly.
+func NewConfiguredMachineDevices(cfg Config, n int, unit uint64, prop, ref core.Device) *Machine {
 	if unit < 32 || unit&(unit-1) != 0 {
 		panic("coherence: unit must be a power of two >= 32")
 	}
-	lat := DefaultLatencies()
+	lat := LatenciesFor(prop)
 	var m *Machine
 	switch cfg {
 	case ReferenceCCNUMA:
-		m = NewMachine(n, lat, func(id int) Node { return NewReferenceNodeUnit(id, lat, unit) })
+		m = NewMachine(n, lat, func(id int) Node { return NewReferenceNodeDevice(id, lat, unit, ref) })
 	case IntegratedPlain:
 		m = NewMachine(n, lat, func(id int) Node {
-			return NewIntegratedNodeUnit(id, lat, false, INCBytes, unit)
+			return NewIntegratedNodeDevice(id, lat, false, unit, prop)
 		})
 	case IntegratedVictim:
 		m = NewMachine(n, lat, func(id int) Node {
-			return NewIntegratedNodeUnit(id, lat, true, INCBytes, unit)
+			return NewIntegratedNodeDevice(id, lat, true, unit, prop)
 		})
 	case SimpleCOMA:
-		if unit != BlockSize {
-			panic("coherence: S-COMA supports only the 32 B coherence unit")
+		if unit != uint64(prop.CoherenceUnitBytes) {
+			panic("coherence: S-COMA supports only the device's coherence unit")
 		}
-		m = NewSCOMAMachine(n)
+		m = NewSCOMAMachineDevice(n, prop)
 	default:
 		panic("coherence: unknown config")
 	}

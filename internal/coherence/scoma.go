@@ -1,6 +1,11 @@
 package coherence
 
-import "repro/internal/cache"
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
 
 // Simple-COMA support. Section 4.2 of the paper states that the
 // protocol engines' downloadable microcode supports both CC-NUMA and
@@ -31,11 +36,13 @@ const PageAllocCycles = 150
 // buffers and victim cache as the integrated node, with an attraction
 // memory replacing the INC.
 type SCOMANode struct {
-	id     int
-	lat    Latencies
-	unit   uint64
-	dcache *cache.SetAssoc
-	victim *cache.Victim
+	id         int
+	lat        Latencies
+	unit       uint64
+	line       uint64 // column (cache line) size
+	victimLine uint64 // victim cache entry size
+	dcache     *cache.SetAssoc
+	victim     *cache.Victim
 
 	frames   pagedBits // allocated local frames for remote pages
 	valid    pagedBits // fetched remote blocks
@@ -45,16 +52,26 @@ type SCOMANode struct {
 	Allocations int64
 }
 
-// NewSCOMANode builds a Simple-COMA node.
+// NewSCOMANode builds a Simple-COMA node with the paper's organisation.
 func NewSCOMANode(id int, lat Latencies, withVictim bool) *SCOMANode {
+	return NewSCOMANodeDevice(id, lat, withVictim, core.Proposed())
+}
+
+// NewSCOMANodeDevice builds a Simple-COMA node whose column buffers and
+// victim cache are derived from a machine description.
+func NewSCOMANodeDevice(id int, lat Latencies, withVictim bool, d core.Device) *SCOMANode {
 	n := &SCOMANode{
-		id:     id,
-		lat:    lat,
-		unit:   BlockSize,
-		dcache: cache.ProposedDCache(),
+		id:         id,
+		lat:        lat,
+		unit:       uint64(d.CoherenceUnitBytes),
+		line:       uint64(d.DRAM.ColumnBytes),
+		victimLine: uint64(d.VictimLineBytes),
+		dcache: cache.NewSetAssoc(
+			fmt.Sprintf("%dKB %d-way %dB device D-cache", d.DCacheBytes>>10, d.DCacheWays, d.DCacheLineBytes),
+			uint64(d.DCacheBytes), uint64(d.DCacheLineBytes), d.DCacheWays),
 	}
-	if withVictim {
-		n.victim = cache.ProposedVictim()
+	if withVictim && d.VictimEntries > 0 {
+		n.victim = cache.NewVictim(d.VictimEntries, uint64(d.VictimLineBytes))
 	}
 	return n
 }
@@ -99,13 +116,13 @@ func (n *SCOMANode) Access(addr uint64, write, local bool) (uint64, bool) {
 func (n *SCOMANode) localFill(addr uint64, kind kindT) {
 	if n.victim != nil {
 		n.dcache.OnEvict = func(e cache.Eviction) {
-			sub := e.Addr + uint64(e.LastSub)/cache.VictimLineSize*cache.VictimLineSize
+			sub := e.Addr + uint64(e.LastSub)/n.victimLine*n.victimLine
 			n.victim.Insert(sub)
 		}
 	}
 	n.dcache.Access(addr, kind)
-	lineBase := addr / 512 * 512
-	for b := lineBase / n.unit; b <= (lineBase+511)/n.unit; b++ {
+	lineBase := addr / n.line * n.line
+	for b := lineBase / n.unit; b <= (lineBase+n.line-1)/n.unit; b++ {
 		// A column fill validates only what the attraction memory
 		// actually holds; poisoned (invalidated) blocks stay poisoned
 		// until re-fetched, so clear poison only here for blocks that
@@ -124,7 +141,7 @@ func (n *SCOMANode) Invalidate(base, size uint64) {
 		n.poisoned.set(block)
 	}
 	if n.victim != nil {
-		for a := base; a < base+size; a += cache.VictimLineSize {
+		for a := base; a < base+size; a += n.victimLine {
 			n.victim.Invalidate(a)
 		}
 	}
@@ -141,8 +158,14 @@ const SimpleCOMA Config = 3
 // integrated node's cache organisation (victim cache included, as in
 // the best-performing CC-NUMA variant).
 func NewSCOMAMachine(n int) *Machine {
-	lat := DefaultLatencies()
+	return NewSCOMAMachineDevice(n, core.Proposed())
+}
+
+// NewSCOMAMachineDevice builds an n-node Simple-COMA machine derived
+// from a machine description.
+func NewSCOMAMachineDevice(n int, d core.Device) *Machine {
+	lat := LatenciesFor(d)
 	return NewMachine(n, lat, func(id int) Node {
-		return NewSCOMANode(id, lat, true)
+		return NewSCOMANodeDevice(id, lat, true, d)
 	})
 }

@@ -50,6 +50,20 @@ type Device struct {
 	ProtocolEngines int
 	// INCBytes is the default Inter-Node Cache capacity.
 	INCBytes int
+	// INCWays is the Inter-Node Cache associativity.
+	INCWays int
+	// CoherenceUnitBytes is the coherence unit (directory granularity).
+	CoherenceUnitBytes int
+	// ScoreboardRate is the fraction of memory accesses the scoreboard
+	// can overlap with execution (Section 4.1's non-blocking loads).
+	ScoreboardRate float64
+	// Integrated distinguishes the merged-logic/DRAM device from a
+	// conventional (reference) system built from discrete parts.
+	Integrated bool
+	// L2Bytes/L2Ways/L2LineBytes/L2Cycles describe the board-level
+	// second-level cache of the reference system; all zero on the
+	// integrated device, which has none.
+	L2Bytes, L2Ways, L2LineBytes, L2Cycles int
 	// Cost carries the Section 3 economics.
 	Cost costmodel.Inputs
 }
@@ -72,8 +86,64 @@ func Proposed() Device {
 		LinkGbit:        2.5,
 		ProtocolEngines: 2,
 		INCBytes:        1 << 20,
-		Cost:            costmodel.Default(),
+		INCWays:         7,
+
+		CoherenceUnitBytes: 32,
+		ScoreboardRate:     1,
+		Integrated:         true,
+		Cost:               costmodel.Default(),
 	}
+}
+
+// Reference returns the conventional system the paper compares against:
+// a discrete processor with a 16 KB direct-mapped first-level cache, a
+// 256 KB board-level second-level cache, and two-bank conventional DRAM
+// (Section 5's reference CC-NUMA node and the GSPN reference config).
+func Reference() Device {
+	return Device{
+		Name:            "reference discrete-part node",
+		ClockMHz:        200,
+		DRAM:            dram.Conventional(),
+		ICacheBytes:     16 << 10,
+		ICacheLineBytes: 32,
+		DCacheBytes:     16 << 10,
+		DCacheWays:      1,
+		DCacheLineBytes: 32,
+		DatapathBits:    64,
+		Links:           4,
+		LinkGbit:        2.5,
+		ProtocolEngines: 2,
+
+		CoherenceUnitBytes: 32,
+		ScoreboardRate:     1,
+		L2Bytes:            256 << 10,
+		L2Ways:             2,
+		L2LineBytes:        32,
+		L2Cycles:           6,
+		Cost:               costmodel.Default(),
+	}
+}
+
+// WithGeometry re-derives the column-buffer cache organisation for a
+// different bank count / column size / victim configuration, preserving
+// the structural invariants Validate() checks: the I-cache is one column
+// buffer per bank, the D-cache DCacheWays buffers per bank, and the
+// victim cache one column's worth of entries. victimEntries == 0 drops
+// the victim cache entirely.
+func (d Device) WithGeometry(banks, columnBytes, victimEntries int) Device {
+	d.DRAM.Banks = banks
+	d.DRAM.ColumnBytes = columnBytes
+	d.ICacheBytes = banks * columnBytes
+	d.ICacheLineBytes = columnBytes
+	d.DCacheBytes = d.DCacheWays * banks * columnBytes
+	d.DCacheLineBytes = columnBytes
+	d.VictimEntries = victimEntries
+	if victimEntries > 0 {
+		d.VictimLineBytes = columnBytes / victimEntries
+	} else {
+		d.VictimLineBytes = 0
+	}
+	return d
 }
 
 // MemoryBandwidthGBs returns one datapath's bandwidth in GB/s
@@ -91,6 +161,15 @@ func (d Device) IOBandwidthGBs() float64 {
 func (d Device) Validate() error {
 	if err := d.DRAM.Validate(); err != nil {
 		return err
+	}
+	if d.CoherenceUnitBytes < 32 || d.CoherenceUnitBytes&(d.CoherenceUnitBytes-1) != 0 {
+		return fmt.Errorf("core: coherence unit %d B must be a power of two >= 32", d.CoherenceUnitBytes)
+	}
+	if d.ScoreboardRate < 0 || d.ScoreboardRate > 1 {
+		return fmt.Errorf("core: scoreboard rate %g outside [0,1]", d.ScoreboardRate)
+	}
+	if !d.Integrated {
+		return d.validateReference()
 	}
 	// The I-cache is one column buffer per bank.
 	if d.ICacheBytes != d.DRAM.Banks*d.DRAM.ColumnBytes {
@@ -110,8 +189,8 @@ func (d Device) Validate() error {
 		return fmt.Errorf("core: %d buffers per bank, want %d (1 I + %d D)",
 			d.DRAM.BuffersPerBank, want, d.DCacheWays)
 	}
-	// The victim cache is exactly one column's worth of 32 B entries.
-	if d.VictimEntries*d.VictimLineBytes != d.DRAM.ColumnBytes {
+	// The victim cache, when present, is exactly one column's worth.
+	if d.VictimEntries != 0 && d.VictimEntries*d.VictimLineBytes != d.DRAM.ColumnBytes {
 		return fmt.Errorf("core: victim %d×%d B != one %d B column",
 			d.VictimEntries, d.VictimLineBytes, d.DRAM.ColumnBytes)
 	}
@@ -134,6 +213,32 @@ func (d Device) Validate() error {
 	}
 	if d.ProtocolEngines != 2 {
 		return fmt.Errorf("core: %d protocol engines, want 2 (Section 4.2)", d.ProtocolEngines)
+	}
+	if d.INCWays < 1 {
+		return fmt.Errorf("core: INC associativity %d, want >= 1", d.INCWays)
+	}
+	if d.INCBytes%d.DRAM.ColumnBytes != 0 {
+		return fmt.Errorf("core: INC %d B not a multiple of the %d B column",
+			d.INCBytes, d.DRAM.ColumnBytes)
+	}
+	return nil
+}
+
+// validateReference checks the (much looser) conventional system: the
+// column-buffer identities do not apply to discrete SRAM caches.
+func (d Device) validateReference() error {
+	if d.ICacheBytes < 1 || d.ICacheLineBytes < 1 || d.DCacheBytes < 1 ||
+		d.DCacheWays < 1 || d.DCacheLineBytes < 1 {
+		return fmt.Errorf("core: reference device needs non-empty L1 caches")
+	}
+	if d.L2Bytes > 0 {
+		if d.L2Ways < 1 || d.L2LineBytes < 1 || d.L2Cycles < 1 {
+			return fmt.Errorf("core: reference L2 %d B needs ways/line/cycles", d.L2Bytes)
+		}
+		if d.L2Bytes%(d.L2Ways*d.L2LineBytes) != 0 {
+			return fmt.Errorf("core: reference L2 %d B not divisible into %d-way %d B lines",
+				d.L2Bytes, d.L2Ways, d.L2LineBytes)
+		}
 	}
 	return nil
 }
@@ -173,7 +278,7 @@ func (d Device) Datasheet() []string {
 		fmt.Sprintf("interconnect:      %d × %.1f Gbit/s serial links (%.2f GB/s)",
 			d.Links, d.LinkGbit, d.IOBandwidthGBs()),
 		fmt.Sprintf("protocol engines:  %d (CC-NUMA / S-COMA microcode)", d.ProtocolEngines),
-		fmt.Sprintf("inter-node cache:  %d MB, 7-way, in-DRAM", d.INCBytes>>20),
+		fmt.Sprintf("inter-node cache:  %d MB, %d-way, in-DRAM", d.INCBytes>>20, d.INCWays),
 		fmt.Sprintf("directory:         %d bits per 32 B block, in ECC", ecc.DirEntryBits),
 	}
 }

@@ -28,6 +28,7 @@ package cpumodel
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/gspn"
 	"repro/internal/stats"
 )
@@ -111,31 +112,39 @@ type SystemConfig struct {
 	ScoreboardRate float64
 }
 
+// ConfigFor derives the GSPN system configuration from a machine
+// description: bank count and access/precharge timing from the DRAM
+// organisation, the grey L2 components from the reference device's
+// board-level cache, and the scoreboard stall rate from the device.
+func ConfigFor(d core.Device) SystemConfig {
+	cfg := SystemConfig{
+		Name:            "integrated",
+		Banks:           d.DRAM.Banks,
+		MemCycles:       float64(d.DRAM.AccessCycles),
+		PrechargeCycles: float64(d.DRAM.PrechargeCycles),
+		ScoreboardRate:  d.ScoreboardRate,
+	}
+	if !d.Integrated {
+		cfg.Name = "reference"
+	}
+	if d.L2Bytes > 0 {
+		cfg.HasL2 = true
+		cfg.L2Cycles = float64(d.L2Cycles)
+	}
+	return cfg
+}
+
 // Integrated returns the proposed device's configuration: 16 banks,
 // 30 ns (6-cycle) access, no L2, scoreboarding rate 1.
 func Integrated() SystemConfig {
-	return SystemConfig{
-		Name:            "integrated",
-		Banks:           16,
-		MemCycles:       6,
-		PrechargeCycles: 3,
-		ScoreboardRate:  1,
-	}
+	return ConfigFor(core.Proposed())
 }
 
 // Reference returns the conventional validation system of Section 5.5:
 // 16 KB first-level caches, a 256 KB unified second-level cache at
 // 6 cycles, dual-banked main memory at 60 ns (12 cycles at 200 MHz).
 func Reference() SystemConfig {
-	return SystemConfig{
-		Name:            "reference",
-		Banks:           2,
-		MemCycles:       12,
-		PrechargeCycles: 6,
-		HasL2:           true,
-		L2Cycles:        6,
-		ScoreboardRate:  1,
-	}
+	return ConfigFor(core.Reference())
 }
 
 // Model is a built net for one (config, application) pair.

@@ -75,10 +75,14 @@ func ablateLineSizeBench(o Options, name string) ([]LineSizeRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The capacity and associativity under ablation come from the device
+	// under test; only the line size varies.
+	dev := o.Device()
+	dBytes, dWays := uint64(dev.DCacheBytes), dev.DCacheWays
 	profs := make([]*stackdist.SetProfiler, len(lineSizes))
 	for i, ls := range lineSizes {
 		profs[i] = stackdist.NewSetProfiler(uint64(ls),
-			[]stackdist.Geometry{{Sets: 16 << 10 / (2 * uint64(ls)), Ways: 2}})
+			[]stackdist.Geometry{{Sets: dBytes / (uint64(dWays) * uint64(ls)), Ways: dWays}})
 	}
 	var lastLine uint64 // previous data ref's 32 B line + 1 (0 = none)
 	sink := trace.SinkFunc(func(r trace.Ref) {
@@ -106,9 +110,9 @@ func ablateLineSizeBench(o Options, name string) ([]LineSizeRow, error) {
 	}
 	rows := make([]LineSizeRow, len(lineSizes))
 	for i, ls := range lineSizes {
-		sets := 16 << 10 / (2 * uint64(ls))
-		miss := profs[i].MissCounter(sets, 2, trace.Load)
-		miss.Add(profs[i].MissCounter(sets, 2, trace.Store))
+		sets := dBytes / (uint64(dWays) * uint64(ls))
+		miss := profs[i].MissCounter(sets, dWays, trace.Load)
+		miss.Add(profs[i].MissCounter(sets, dWays, trace.Store))
 		rows[i] = LineSizeRow{
 			Bench: name, LineBytes: ls,
 			MissPct: miss.Percent(),
@@ -199,11 +203,19 @@ func ablateVictimBench(o Options, name string) ([]VictimSizeRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	plain := cache.ProposedDCache()
+	dev := o.Device()
+	mkMain := func() *cache.SetAssoc {
+		return cache.NewSetAssoc("ablate-victim main", uint64(dev.DCacheBytes),
+			uint64(dev.DCacheLineBytes), dev.DCacheWays)
+	}
+	vline := uint64(dev.VictimLineBytes)
+	if vline == 0 {
+		vline = cache.VictimLineSize
+	}
+	plain := mkMain()
 	withV := make([]*cache.WithVictim, 0, len(entries)-1)
 	for _, e := range entries[1:] {
-		withV = append(withV, cache.NewWithVictim(
-			cache.ProposedDCache(), cache.NewVictim(e, cache.VictimLineSize)))
+		withV = append(withV, cache.NewWithVictim(mkMain(), cache.NewVictim(e, vline)))
 	}
 	sink := trace.SinkFunc(func(r trace.Ref) {
 		if r.Kind == trace.Ifetch {
@@ -331,8 +343,8 @@ func ablateUnitMicro() ([]UnitRow, error) {
 	var rows []UnitRow
 	for _, u := range []uint64{32, 128, 512} {
 		m := coherence.NewConfiguredMachineUnit(coherence.IntegratedVictim, ablateUnitProcs, u)
-		r := mpsim.Run(ablateUnitProcs, m, mpsim.DefaultSyncCosts(), func(p *mpsim.Proc) {
-			addr := uint64(0x1000 + p.ID*32)
+		r := mpsim.Run(ablateUnitProcs, m, m.Lat.SyncCosts(), func(p *mpsim.Proc) {
+			addr := uint64(0x1000 + p.ID*coherence.BlockSize)
 			for i := 0; i < 400; i++ {
 				p.Read(addr)
 				p.Compute(2)
@@ -426,7 +438,7 @@ func ablateScoreboardPoint(o Options, ms *MeasurementSet, name string, rate floa
 	if err != nil {
 		return ScoreboardRow{}, err
 	}
-	cfg := cpumodel.Integrated()
+	cfg := cpumodel.ConfigFor(o.Device())
 	cfg.ScoreboardRate = rate
 	r, err := cpumodel.Evaluate(cfg, m.Rates(true, true), o.GSPNInstr, o.Seed)
 	if err != nil {

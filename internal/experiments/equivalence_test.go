@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/memsys"
+	"repro/internal/mpsim"
+	"repro/internal/sweep"
+)
+
+// TestConfigEquivalence pins every parameter the machine-description
+// refactor now derives from core.Proposed()/core.Reference() to the
+// literal values the simulation paths hard-coded before the refactor.
+// If a derivation formula drifts, this fails before the (slow) golden
+// output diff does, and names the exact parameter.
+func TestConfigEquivalence(t *testing.T) {
+	prop, ref := core.Proposed(), core.Reference()
+
+	// GSPN system configurations (Tables 3/4, Figures 11/12).
+	wantInt := cpumodel.SystemConfig{
+		Name: "integrated", Banks: 16, MemCycles: 6, PrechargeCycles: 3,
+		ScoreboardRate: 1,
+	}
+	if got := cpumodel.ConfigFor(prop); got != wantInt {
+		t.Errorf("ConfigFor(Proposed) = %+v, want pre-refactor literals %+v", got, wantInt)
+	}
+	wantRef := cpumodel.SystemConfig{
+		Name: "reference", Banks: 2, MemCycles: 12, PrechargeCycles: 6,
+		HasL2: true, L2Cycles: 6, ScoreboardRate: 1,
+	}
+	if got := cpumodel.ConfigFor(ref); got != wantRef {
+		t.Errorf("ConfigFor(Reference) = %+v, want pre-refactor literals %+v", got, wantRef)
+	}
+	if got := cpumodel.Integrated(); got != wantInt {
+		t.Errorf("cpumodel.Integrated() = %+v, want %+v", got, wantInt)
+	}
+	if got := cpumodel.Reference(); got != wantRef {
+		t.Errorf("cpumodel.Reference() = %+v, want %+v", got, wantRef)
+	}
+
+	// Multiprocessor latencies (Table 6) and synchronisation costs.
+	if got, want := coherence.LatenciesFor(prop), coherence.DefaultLatencies(); got != want {
+		t.Errorf("LatenciesFor(Proposed) = %+v, want DefaultLatencies %+v", got, want)
+	}
+	if got, want := coherence.LatenciesFor(prop).SyncCosts(), mpsim.DefaultSyncCosts(); got != want {
+		t.Errorf("SyncCosts from device = %+v, want DefaultSyncCosts %+v", got, want)
+	}
+
+	// DRAM timing: 6 cycles at 200 MHz is the paper's 30 ns.
+	if got := prop.DRAM.AccessNanos(); got != 30 {
+		t.Errorf("Proposed DRAM access = %g ns, want 30", got)
+	}
+
+	// WithGeometry at the paper's own point is the identity.
+	if got := prop.WithGeometry(16, 512, 16); !reflect.DeepEqual(got, prop) {
+		t.Errorf("WithGeometry(16,512,16) changed the paper device:\n got %+v\nwant %+v", got, prop)
+	}
+
+	// Memory-hierarchy specs (Figure 2): the named builders must still
+	// describe the pre-refactor literal hierarchies.
+	wantSS5 := memsys.Spec{
+		Name: "SS-5", Levels: []memsys.LevelSpec{
+			{Name: "SS-5 L1D 8KB", Bytes: 8 << 10, LineBytes: 16, Ways: 1, LatencyNs: 12},
+		},
+		MemoryNs: 280, ClockMHz: 85, BaseCPI: 1.3,
+	}
+	if got := memsys.SS5Spec(); !reflect.DeepEqual(got, wantSS5) {
+		t.Errorf("SS5Spec = %+v, want %+v", got, wantSS5)
+	}
+	intSpec := memsys.SpecFor(prop)
+	if intSpec.MemoryNs != 30 || intSpec.ClockMHz != 200 {
+		t.Errorf("SpecFor(Proposed): MemoryNs=%g ClockMHz=%g, want 30/200",
+			intSpec.MemoryNs, intSpec.ClockMHz)
+	}
+
+	// Both devices must self-validate, and Options.Device must default
+	// to the paper's machine.
+	if err := prop.Validate(); err != nil {
+		t.Errorf("Proposed().Validate(): %v", err)
+	}
+	if err := ref.Validate(); err != nil {
+		t.Errorf("Reference().Validate(): %v", err)
+	}
+	if got := (Options{}).Device(); !reflect.DeepEqual(got, prop) {
+		t.Errorf("Options.Device() default is not core.Proposed()")
+	}
+}
+
+// TestDesignspaceDeterministic: the designspace sweep filters invalid
+// geometries at enumeration time and produces byte-identical rendered
+// output across repeated runs.
+func TestDesignspaceDeterministic(t *testing.T) {
+	o := Quick()
+	o.Budget = 50_000
+	o.GSPNInstr = 2_000
+	o.DSBanks = []int{8, 16}
+	o.DSColumns = []int{512}
+	o.DSVictims = []int{0, 16}
+	render := func() []byte {
+		v, err := sweep.RunSerial(DesignspaceJob(o))
+		if err != nil {
+			t.Fatalf("designspace: %v", err)
+		}
+		res := v.(*DesignspaceResult)
+		if want := 2 * 2 * len(designspaceBenches); len(res.Rows) != want {
+			t.Fatalf("designspace rows = %d, want %d", len(res.Rows), want)
+		}
+		var buf bytes.Buffer
+		res.Table().Render(&buf)
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two designspace runs differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestDesignspaceFiltersInvalid: a victim-entry count whose line size
+// cannot tile the column must be dropped from the sweep, not run.
+func TestDesignspaceFiltersInvalid(t *testing.T) {
+	o := Quick()
+	o.DSBanks = []int{16}
+	o.DSColumns = []int{512}
+	o.DSVictims = []int{0, 3} // 512/3 is not an integer line size
+	j := DesignspaceJob(o)
+	if want := len(designspaceBenches); len(j.Units) != want {
+		t.Errorf("designspace kept %d units, want %d (victim=3 point filtered)",
+			len(j.Units), want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/paperref"
 	"repro/internal/report"
@@ -34,6 +35,20 @@ type Options struct {
 	Procs []int
 	// MPQuick selects the reduced SPLASH data set.
 	MPQuick bool
+	// Machine optionally overrides the integrated device under test
+	// (the iramsim -machine flag); nil means the paper's core.Proposed().
+	Machine *core.Device
+	// DSBanks / DSColumns / DSVictims override the designspace sweep
+	// axes (nil = built-in defaults; see DesignspaceJob).
+	DSBanks, DSColumns, DSVictims []int
+}
+
+// Device returns the integrated device the experiments run against.
+func (o Options) Device() core.Device {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	return core.Proposed()
 }
 
 // Default returns full-fidelity options (paper-scale runs).
@@ -100,10 +115,11 @@ func (s *MeasurementSet) Get(w workload.Workload) (*workload.Measurement, error)
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
+		prop, ref := s.opts.Device(), core.Reference()
 		if s.replay {
-			e.m, e.err = workload.RunReplay(w, s.opts.Budget)
+			e.m, e.err = workload.RunReplayDevices(w, s.opts.Budget, prop, ref)
 		} else {
-			e.m, e.err = workload.Run(w, s.opts.Budget)
+			e.m, e.err = workload.RunDevices(w, s.opts.Budget, prop, ref)
 		}
 	})
 	return e.m, e.err
@@ -337,7 +353,7 @@ func cpiRow(o Options, ms *MeasurementSet, w workload.Workload, victim bool) (CP
 		return CPIRow{}, err
 	}
 	rates := m.Rates(true, victim)
-	r, err := cpumodel.Evaluate(cpumodel.Integrated(), rates, o.GSPNInstr, o.Seed)
+	r, err := cpumodel.Evaluate(cpumodel.ConfigFor(o.Device()), rates, o.GSPNInstr, o.Seed)
 	if err != nil {
 		return CPIRow{}, err
 	}

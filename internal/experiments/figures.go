@@ -139,7 +139,7 @@ func fig12Bench(o Options, ms *MeasurementSet, name string) ([]LatencyPoint, err
 	rates := m.Rates(true, true)
 	var points []LatencyPoint
 	for _, mem := range memLats {
-		cfg := cpumodel.Integrated()
+		cfg := cpumodel.ConfigFor(o.Device())
 		cfg.MemCycles = mem
 		cfg.PrechargeCycles = mem / 2
 		r, err := cpumodel.Evaluate(cfg, rates, o.GSPNInstr, o.Seed)
@@ -254,7 +254,7 @@ func bankRow(o Options, ms *MeasurementSet, name string, integrated bool, banks 
 	var cfg cpumodel.SystemConfig
 	var rates cpumodel.AppRates
 	if integrated {
-		cfg = cpumodel.Integrated()
+		cfg = cpumodel.ConfigFor(o.Device())
 		rates = m.Rates(true, true)
 	} else {
 		cfg = cpumodel.Reference()
@@ -427,7 +427,8 @@ var (
 // but plotting it on the same axes is the whole argument: a flat
 // ~30 ns line where both workstations climb.
 func Fig2Job(o Options) sweep.Job {
-	builders := []func() *memsys.Hierarchy{memsys.SS5, memsys.SS10, memsys.Integrated}
+	integrated := func() *memsys.Hierarchy { return memsys.IntegratedFrom(o.Device()) }
+	builders := []func() *memsys.Hierarchy{memsys.SS5, memsys.SS10, integrated}
 	labels := []string{"ss5", "ss10", "integrated"}
 	units := make([]sweep.Unit, len(builders))
 	for i, build := range builders {

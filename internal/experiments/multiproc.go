@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coherence"
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/interconnect"
 	"repro/internal/report"
@@ -89,7 +90,7 @@ func SplashNameJob(o Options, jobName, bench string) sweep.Job {
 					if err != nil {
 						return nil, err
 					}
-					r := b.Run(np, cfg, sz)
+					r := b.RunDevices(np, cfg, sz, o.Device(), core.Reference())
 					return SplashPoint{Config: cfg, Procs: np, Cycles: r.Cycles}, nil
 				},
 			})
@@ -223,7 +224,7 @@ func SCOMAJob(o Options) sweep.Job {
 			units = append(units, sweep.Unit{
 				Name: fmt.Sprintf("scoma/%s/%s", b.Name, cfg),
 				Run: func() (interface{}, error) {
-					return b.Run(procs, cfg, sz).Cycles, nil
+					return b.RunDevices(procs, cfg, sz, o.Device(), core.Reference()).Cycles, nil
 				},
 			})
 		}

@@ -59,6 +59,8 @@ func JobFor(name string, o Options, ms *MeasurementSet) (sweep.Job, error) {
 		return AblateEnginesJob(o), nil
 	case "ablate-jouppi":
 		return AblateJouppiJob(o), nil
+	case "designspace":
+		return DesignspaceJob(o), nil
 	default:
 		return sweep.Job{}, fmt.Errorf("experiments: unknown experiment %q", name)
 	}

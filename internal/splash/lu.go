@@ -117,7 +117,7 @@ func runLU(nproc int, m *coherence.Machine, sz Size) mpsim.Result {
 	orig := make([]float64, len(a))
 	copy(orig, a)
 
-	res := mpsim.Run(nproc, m, mpsim.DefaultSyncCosts(), body)
+	res := mpsim.Run(nproc, m, m.Lat.SyncCosts(), body)
 
 	// Execution-driven means the computation is real: for small data
 	// sets (tests), verify that L·U reconstructs the original matrix.

@@ -92,5 +92,5 @@ func runMP3D(nproc int, m *coherence.Machine, sz Size) mpsim.Result {
 	// compute sections (exactly one body goroutine runs between
 	// coordinator handoffs), so host-side updates are totally ordered
 	// even though the *simulated* accesses contend and invalidate.
-	return mpsim.Run(nproc, m, mpsim.DefaultSyncCosts(), body)
+	return mpsim.Run(nproc, m, m.Lat.SyncCosts(), body)
 }

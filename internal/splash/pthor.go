@@ -119,5 +119,5 @@ func runPthor(nproc int, m *coherence.Machine, sz Size) mpsim.Result {
 			p.Barrier()
 		}
 	}
-	return mpsim.Run(nproc, m, mpsim.DefaultSyncCosts(), body)
+	return mpsim.Run(nproc, m, m.Lat.SyncCosts(), body)
 }

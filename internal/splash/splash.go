@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/coherence"
+	"repro/internal/core"
 	"repro/internal/mpsim"
 )
 
@@ -68,6 +69,14 @@ type Benchmark struct {
 // the given configuration with the paper's 32 B coherence unit.
 func (b Benchmark) Run(n int, cfg coherence.Config, sz Size) mpsim.Result {
 	return b.kernel(n, coherence.NewConfiguredMachine(cfg, n), sz)
+}
+
+// RunDevices executes the benchmark over machines derived from an
+// explicit device pair (the -machine path): prop describes the
+// integrated node, ref the conventional CC-NUMA node.
+func (b Benchmark) RunDevices(n int, cfg coherence.Config, sz Size, prop, ref core.Device) mpsim.Result {
+	unit := uint64(prop.CoherenceUnitBytes)
+	return b.kernel(n, coherence.NewConfiguredMachineDevices(cfg, n, unit, prop, ref), sz)
 }
 
 // RunMachine executes the benchmark over a caller-supplied machine

@@ -100,5 +100,5 @@ func runWater(nproc int, m *coherence.Machine, sz Size) mpsim.Result {
 			p.Barrier()
 		}
 	}
-	return mpsim.Run(nproc, m, mpsim.DefaultSyncCosts(), body)
+	return mpsim.Run(nproc, m, m.Lat.SyncCosts(), body)
 }

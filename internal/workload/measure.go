@@ -2,21 +2,31 @@ package workload
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/stackdist"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
-// convLineSize and propLineSize are the two line sizes in the study:
-// conventional caches use 32 B lines, the proposed column-buffer caches
-// use 512 B lines (one DRAM column buffer).
+// convLineSize and propLineSize are the paper's two line sizes:
+// conventional caches use 32 B lines (core.Reference's L1 line), the
+// proposed column-buffer caches 512 B lines (one DRAM column buffer,
+// core.Proposed's D-cache line). The measurement sets derive their
+// actual geometries from the devices they are built for; these named
+// defaults remain for the grid documentation and the ablations.
 const (
 	convLineSize = 32
 	propLineSize = 512
 )
+
+// RefL1KB is the reference system's first-level cache size in KB
+// (core.Reference().ICacheBytes >> 10): the grid point whose misses
+// feed the L2 and whose rates parameterise the reference GSPN.
+const RefL1KB = 16
 
 // ConvISizesKB and ConvDSizesKB are the conventional cache sizes
 // plotted in Figures 7 and 8, in ascending order (iterate these — not a
@@ -68,51 +78,79 @@ type CacheMeasurer interface {
 type CacheSet struct {
 	counts trace.Counts
 
-	iconv *stackdist.SetProfiler // 32 B lines, ifetch stream
-	iprop *stackdist.SetProfiler // 512 B lines, ifetch stream
-	dconv *stackdist.SetProfiler // 32 B lines, data stream
-	dprop *stackdist.SetProfiler // 512 B lines, data stream
-	vic   *cache.WithVictim      // replay fallback: eviction-order state
-	l2    *cache.SetAssoc        // replay fallback: conditional stream
+	iconv *stackdist.SetProfiler // conventional lines, ifetch stream
+	iprop *stackdist.SetProfiler // column-buffer lines, ifetch stream
+	dconv *stackdist.SetProfiler // conventional lines, data stream
+	dprop *stackdist.SetProfiler // column-buffer lines, data stream
+	vic   *cache.WithVictim      // replay fallback: eviction-order state (nil: no victim)
+	l2    *cache.SetAssoc        // replay fallback: conditional stream (nil: no L2)
 
-	i16 int // iconv tracker index of the 16 KB DM geometry (512 sets)
+	ipSets uint64 // proposed I-cache geometry in the iprop profiler
+	dpSets uint64 // proposed D-cache geometry in the dprop profiler
+	dpWays int
+
+	i16 int // iconv tracker index of the reference L1 geometry (512 sets)
 	d16 int // dconv tracker index of the same
 
-	lastILine uint64 // previous ifetch 32 B line + 1 (0 = none)
-	lastDLine uint64 // previous load/store 32 B line + 1 (0 = none)
+	convShift uint   // log2 of the conventional line size
+	lastILine uint64 // previous ifetch conventional line + 1 (0 = none)
+	lastDLine uint64 // previous load/store conventional line + 1 (0 = none)
 }
 
-// NewCacheSet builds the profilers and fallback models for one run.
+// NewCacheSet builds the profilers and fallback models for one run of
+// the paper's configurations.
 func NewCacheSet() *CacheSet {
+	return NewCacheSetFor(core.Proposed(), core.Reference())
+}
+
+// NewCacheSetFor builds the measurement set for an explicit device
+// pair: prop supplies the column-buffer cache geometries (and victim
+// cache), ref the conventional line size, the L1 grid point feeding the
+// L2, and the L2 itself. The conventional size grids stay on the
+// Figure 7/8 axes; ref's L1 sizes must lie on them.
+func NewCacheSetFor(prop, ref core.Device) *CacheSet {
+	convLine := uint64(ref.DCacheLineBytes)
 	var ig []stackdist.Geometry
 	for _, kb := range ConvISizesKB {
-		ig = append(ig, stackdist.Geometry{Sets: uint64(kb) << 10 / convLineSize, Ways: 1})
+		ig = append(ig, stackdist.Geometry{Sets: uint64(kb) << 10 / convLine, Ways: 1})
 	}
 	var dg []stackdist.Geometry
 	for _, kb := range ConvDSizesKB {
 		dg = append(dg,
-			stackdist.Geometry{Sets: uint64(kb) << 10 / convLineSize, Ways: 1},
-			stackdist.Geometry{Sets: uint64(kb) << 10 / (2 * convLineSize), Ways: 2})
+			stackdist.Geometry{Sets: uint64(kb) << 10 / convLine, Ways: 1},
+			stackdist.Geometry{Sets: uint64(kb) << 10 / (2 * convLine), Ways: 2})
 	}
 	cs := &CacheSet{
-		iconv: stackdist.NewSetProfiler(convLineSize, ig),
-		iprop: stackdist.NewSetProfiler(propLineSize,
-			[]stackdist.Geometry{{Sets: 16, Ways: 1}}),
-		dconv: stackdist.NewSetProfiler(convLineSize, dg),
-		dprop: stackdist.NewSetProfiler(propLineSize,
-			[]stackdist.Geometry{{Sets: 16, Ways: 2}}),
-		vic: cache.Proposed(),
-		l2: cache.NewSetAssoc("256KB 2-way 32B unified L2",
-			256<<10, convLineSize, 2),
+		ipSets: uint64(prop.ICacheBytes / prop.ICacheLineBytes),
+		dpSets: uint64(prop.DCacheBytes / (prop.DCacheWays * prop.DCacheLineBytes)),
+		dpWays: prop.DCacheWays,
 	}
-	cs.i16 = cs.iconv.TrackerIndex(16 << 10 / convLineSize)
-	cs.d16 = cs.dconv.TrackerIndex(16 << 10 / convLineSize)
+	cs.iconv = stackdist.NewSetProfiler(convLine, ig)
+	cs.iprop = stackdist.NewSetProfiler(uint64(prop.ICacheLineBytes),
+		[]stackdist.Geometry{{Sets: cs.ipSets, Ways: 1}})
+	cs.dconv = stackdist.NewSetProfiler(convLine, dg)
+	cs.dprop = stackdist.NewSetProfiler(uint64(prop.DCacheLineBytes),
+		[]stackdist.Geometry{{Sets: cs.dpSets, Ways: cs.dpWays}})
+	if prop.VictimEntries > 0 {
+		cs.vic = cache.NewWithVictim(
+			cache.NewSetAssoc("prop D + victim main", uint64(prop.DCacheBytes),
+				uint64(prop.DCacheLineBytes), prop.DCacheWays),
+			cache.NewVictim(prop.VictimEntries, uint64(prop.VictimLineBytes)))
+	}
+	if ref.L2Bytes > 0 {
+		cs.l2 = cache.NewSetAssoc(
+			fmt.Sprintf("%dKB %d-way %dB unified L2", ref.L2Bytes>>10, ref.L2Ways, ref.L2LineBytes),
+			uint64(ref.L2Bytes), uint64(ref.L2LineBytes), ref.L2Ways)
+	}
+	cs.convShift = uint(bits.TrailingZeros64(convLine))
+	cs.i16 = cs.iconv.TrackerIndex(uint64(ref.ICacheBytes) / convLine)
+	cs.d16 = cs.dconv.TrackerIndex(uint64(ref.DCacheBytes) / convLine)
 	return cs
 }
 
 // Ref implements trace.Sink: one reference drives every measurement.
 func (cs *CacheSet) Ref(r trace.Ref) {
-	line := r.Addr >> 5 // convLineSize == 32
+	line := r.Addr >> cs.convShift
 	if r.Kind == trace.Ifetch {
 		cs.counts.Ifetches++
 		if line+1 == cs.lastILine {
@@ -128,7 +166,7 @@ func (cs *CacheSet) Ref(r trace.Ref) {
 		cs.iprop.Access(r.Addr, trace.Ifetch)
 		// The reference system's L2 sees 16 KB first-level I misses:
 		// the DM 16 KB cache hit iff the access hit at LRU position 0.
-		if cs.iconv.Pos[cs.i16] != 0 {
+		if cs.l2 != nil && cs.iconv.Pos[cs.i16] != 0 {
 			cs.l2.Access(r.Addr, trace.Ifetch)
 		}
 		return
@@ -137,7 +175,9 @@ func (cs *CacheSet) Ref(r trace.Ref) {
 	// The victim-cache organisation replays every data reference: its
 	// contents depend on main-cache eviction order and sub-block
 	// recency, which no stack-distance histogram captures.
-	cs.vic.Access(r.Addr, r.Kind)
+	if cs.vic != nil {
+		cs.vic.Access(r.Addr, r.Kind)
+	}
 	if line+1 == cs.lastDLine {
 		cs.dconv.AddRepeats(r.Kind, 1)
 		cs.dprop.AddRepeats(r.Kind, 1)
@@ -146,7 +186,7 @@ func (cs *CacheSet) Ref(r trace.Ref) {
 	cs.lastDLine = line + 1
 	cs.dconv.Access(r.Addr, r.Kind)
 	cs.dprop.Access(r.Addr, r.Kind)
-	if cs.dconv.Pos[cs.d16] != 0 {
+	if cs.l2 != nil && cs.dconv.Pos[cs.d16] != 0 {
 		cs.l2.Access(r.Addr, r.Kind)
 	}
 }
@@ -171,13 +211,19 @@ func setStats(p *stackdist.SetProfiler, sets uint64, ways int) cache.Stats {
 }
 
 // PropIStats implements CacheMeasurer.
-func (cs *CacheSet) PropIStats() cache.Stats { return setStats(cs.iprop, 16, 1) }
+func (cs *CacheSet) PropIStats() cache.Stats { return setStats(cs.iprop, cs.ipSets, 1) }
 
 // PropDStats implements CacheMeasurer.
-func (cs *CacheSet) PropDStats() cache.Stats { return setStats(cs.dprop, 16, 2) }
+func (cs *CacheSet) PropDStats() cache.Stats { return setStats(cs.dprop, cs.dpSets, cs.dpWays) }
 
-// PropDVictimStats implements CacheMeasurer.
-func (cs *CacheSet) PropDVictimStats() cache.Stats { return cs.vic.Stats() }
+// PropDVictimStats implements CacheMeasurer. Without a victim cache it
+// is simply the D-cache.
+func (cs *CacheSet) PropDVictimStats() cache.Stats {
+	if cs.vic == nil {
+		return cs.PropDStats()
+	}
+	return cs.vic.Stats()
+}
 
 // ConvIStats implements CacheMeasurer.
 func (cs *CacheSet) ConvIStats(kb int) cache.Stats {
@@ -195,7 +241,12 @@ func (cs *CacheSet) Conv2WStats(kb int) cache.Stats {
 }
 
 // L2Stats implements CacheMeasurer.
-func (cs *CacheSet) L2Stats() cache.Stats { return cs.l2.Stats() }
+func (cs *CacheSet) L2Stats() cache.Stats {
+	if cs.l2 == nil {
+		return cache.Stats{}
+	}
+	return cs.l2.Stats()
+}
 
 // ReplayCacheSet is the original measurement path: one simulated cache
 // per configuration, every reference replayed through all of them. It
@@ -220,29 +271,51 @@ type ReplayCacheSet struct {
 	L2 *cache.SetAssoc
 
 	Counts trace.Counts
+
+	refKB int // the L1 grid point whose misses feed the L2
 }
 
-// NewReplayCacheSet builds fresh caches for one replay measurement run.
+// NewReplayCacheSet builds fresh caches for one replay measurement run
+// of the paper's configurations.
 func NewReplayCacheSet() *ReplayCacheSet {
+	return NewReplayCacheSetFor(core.Proposed(), core.Reference())
+}
+
+// NewReplayCacheSetFor is NewCacheSetFor's replay-path counterpart.
+func NewReplayCacheSetFor(prop, ref core.Device) *ReplayCacheSet {
+	convLine := uint64(ref.DCacheLineBytes)
 	cs := &ReplayCacheSet{
-		PropI:       cache.ProposedICache(),
-		PropD:       cache.ProposedDCache(),
-		PropDVictim: cache.Proposed(),
-		ConvI:       make(map[int]*cache.SetAssoc),
-		ConvD1:      make(map[int]*cache.SetAssoc),
-		ConvD2:      make(map[int]*cache.SetAssoc),
-		L2: cache.NewSetAssoc("256KB 2-way 32B unified L2",
-			256<<10, convLineSize, 2),
+		PropI: cache.NewSetAssoc(
+			fmt.Sprintf("prop %dKB DM %dB I", prop.ICacheBytes>>10, prop.ICacheLineBytes),
+			uint64(prop.ICacheBytes), uint64(prop.ICacheLineBytes), 1),
+		PropD: cache.NewSetAssoc(
+			fmt.Sprintf("prop %dKB %d-way %dB D", prop.DCacheBytes>>10, prop.DCacheWays, prop.DCacheLineBytes),
+			uint64(prop.DCacheBytes), uint64(prop.DCacheLineBytes), prop.DCacheWays),
+		ConvI:  make(map[int]*cache.SetAssoc),
+		ConvD1: make(map[int]*cache.SetAssoc),
+		ConvD2: make(map[int]*cache.SetAssoc),
+		refKB:  ref.ICacheBytes >> 10,
+	}
+	if prop.VictimEntries > 0 {
+		cs.PropDVictim = cache.NewWithVictim(
+			cache.NewSetAssoc("prop D + victim main", uint64(prop.DCacheBytes),
+				uint64(prop.DCacheLineBytes), prop.DCacheWays),
+			cache.NewVictim(prop.VictimEntries, uint64(prop.VictimLineBytes)))
+	}
+	if ref.L2Bytes > 0 {
+		cs.L2 = cache.NewSetAssoc(
+			fmt.Sprintf("%dKB %d-way %dB unified L2", ref.L2Bytes>>10, ref.L2Ways, ref.L2LineBytes),
+			uint64(ref.L2Bytes), uint64(ref.L2LineBytes), ref.L2Ways)
 	}
 	for _, kb := range ConvISizesKB {
 		cs.ConvI[kb] = cache.NewDirectMapped(
-			fmt.Sprintf("%dKB DM 32B I", kb), uint64(kb)<<10, convLineSize)
+			fmt.Sprintf("%dKB DM 32B I", kb), uint64(kb)<<10, convLine)
 	}
 	for _, kb := range ConvDSizesKB {
 		cs.ConvD1[kb] = cache.NewDirectMapped(
-			fmt.Sprintf("%dKB DM 32B D", kb), uint64(kb)<<10, convLineSize)
+			fmt.Sprintf("%dKB DM 32B D", kb), uint64(kb)<<10, convLine)
 		cs.ConvD2[kb] = cache.NewSetAssoc(
-			fmt.Sprintf("%dKB 2-way 32B D", kb), uint64(kb)<<10, convLineSize, 2)
+			fmt.Sprintf("%dKB 2-way 32B D", kb), uint64(kb)<<10, convLine, 2)
 	}
 	return cs
 }
@@ -254,28 +327,30 @@ func (cs *ReplayCacheSet) Ref(r trace.Ref) {
 		cs.PropI.Access(r.Addr, r.Kind)
 		hit16 := false
 		for kb, c := range cs.ConvI {
-			if c.Access(r.Addr, r.Kind) && kb == 16 {
+			if c.Access(r.Addr, r.Kind) && kb == cs.refKB {
 				hit16 = true
 			}
 		}
-		// The reference system's L2 sees 16 KB first-level I misses.
-		if !hit16 {
+		// The reference system's L2 sees first-level I misses.
+		if cs.L2 != nil && !hit16 {
 			cs.L2.Access(r.Addr, r.Kind)
 		}
 		return
 	}
 	cs.PropD.Access(r.Addr, r.Kind)
-	cs.PropDVictim.Access(r.Addr, r.Kind)
+	if cs.PropDVictim != nil {
+		cs.PropDVictim.Access(r.Addr, r.Kind)
+	}
 	hit16 := false
 	for kb, c := range cs.ConvD1 {
-		if c.Access(r.Addr, r.Kind) && kb == 16 {
+		if c.Access(r.Addr, r.Kind) && kb == cs.refKB {
 			hit16 = true
 		}
 	}
 	for _, c := range cs.ConvD2 {
 		c.Access(r.Addr, r.Kind)
 	}
-	if !hit16 {
+	if cs.L2 != nil && !hit16 {
 		cs.L2.Access(r.Addr, r.Kind)
 	}
 }
@@ -297,7 +372,12 @@ func (cs *ReplayCacheSet) PropIStats() cache.Stats { return cs.PropI.Stats() }
 func (cs *ReplayCacheSet) PropDStats() cache.Stats { return cs.PropD.Stats() }
 
 // PropDVictimStats implements CacheMeasurer.
-func (cs *ReplayCacheSet) PropDVictimStats() cache.Stats { return cs.PropDVictim.Stats() }
+func (cs *ReplayCacheSet) PropDVictimStats() cache.Stats {
+	if cs.PropDVictim == nil {
+		return cs.PropD.Stats()
+	}
+	return cs.PropDVictim.Stats()
+}
 
 // ConvIStats implements CacheMeasurer.
 func (cs *ReplayCacheSet) ConvIStats(kb int) cache.Stats { return cs.ConvI[kb].Stats() }
@@ -309,7 +389,12 @@ func (cs *ReplayCacheSet) ConvDMStats(kb int) cache.Stats { return cs.ConvD1[kb]
 func (cs *ReplayCacheSet) Conv2WStats(kb int) cache.Stats { return cs.ConvD2[kb].Stats() }
 
 // L2Stats implements CacheMeasurer.
-func (cs *ReplayCacheSet) L2Stats() cache.Stats { return cs.L2.Stats() }
+func (cs *ReplayCacheSet) L2Stats() cache.Stats {
+	if cs.L2 == nil {
+		return cache.Stats{}
+	}
+	return cs.L2.Stats()
+}
 
 // Measurement is the distilled result of one workload run.
 type Measurement struct {
@@ -325,11 +410,22 @@ func Run(w Workload, budget int64) (*Measurement, error) {
 	return runWith(w, budget, NewCacheSet())
 }
 
+// RunDevices is Run against an explicit device pair (the -machine path
+// and the designspace sweep).
+func RunDevices(w Workload, budget int64, prop, ref core.Device) (*Measurement, error) {
+	return runWith(w, budget, NewCacheSetFor(prop, ref))
+}
+
 // RunReplay is Run on the per-configuration replay path. The two paths
 // produce identical statistics; replay exists as the oracle for tests
 // and as the template for organisations the profilers cannot express.
 func RunReplay(w Workload, budget int64) (*Measurement, error) {
 	return runWith(w, budget, NewReplayCacheSet())
+}
+
+// RunReplayDevices is RunReplay against an explicit device pair.
+func RunReplayDevices(w Workload, budget int64, prop, ref core.Device) (*Measurement, error) {
+	return runWith(w, budget, NewReplayCacheSetFor(prop, ref))
 }
 
 func runWith(w Workload, budget int64, cs CacheMeasurer) (*Measurement, error) {
@@ -371,8 +467,8 @@ func (m *Measurement) Rates(integrated, withVictim bool) cpumodel.AppRates {
 	}
 	// Reference system: 16 KB first-level caches + measured conditional
 	// L2 hit rates.
-	app.IHit = 1 - cs.ConvIStats(16).Ifetch.Rate()
-	d := cs.ConvDMStats(16)
+	app.IHit = 1 - cs.ConvIStats(RefL1KB).Ifetch.Rate()
+	d := cs.ConvDMStats(RefL1KB)
 	app.LoadHit = 1 - d.Load.Rate()
 	app.StoreHit = 1 - d.Store.Rate()
 	l2 := cs.L2Stats()

@@ -225,7 +225,7 @@ func RunSPLASH(name string, procs int, cfg MPConfig, quick bool) (*MPResult, err
 // processor and issues references through the Proc handle.
 func RunParallel(procs int, cfg MPConfig, body func(p *Proc)) *MPResult {
 	m := coherence.NewConfiguredMachine(coherence.Config(cfg), procs)
-	r := mpsim.Run(procs, m, mpsim.DefaultSyncCosts(), func(p *mpsim.Proc) {
+	r := mpsim.Run(procs, m, m.Lat.SyncCosts(), func(p *mpsim.Proc) {
 		body(&Proc{p})
 	})
 	return &MPResult{Benchmark: "custom", Procs: procs, Cycles: r.Cycles, Accesses: r.Accesses}
