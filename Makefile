@@ -45,12 +45,16 @@ bench-baseline:
 # Compare against the baseline; fails on >20% ns/op or >2% allocs/op
 # regression. CI uses bench-check-ci, which skips the wall-clock
 # comparison (hardware-dependent) and gates on allocs/op only
-# (deterministic).
+# (deterministic). -require keeps the guard honest: the acceptance
+# benchmarks must actually run, so the observability hooks cannot
+# regress them unnoticed by a pattern that matches nothing.
+BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor
+
 bench-check:
-	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -threshold 0.20
+	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -threshold 0.20 -require $(BENCH_REQUIRED)
 
 bench-check-ci:
-	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -time=false
+	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -time=false -require $(BENCH_REQUIRED)
 
 # Regenerate every experiment at full fidelity (~15 serial minutes,
 # spread across all cores by default; see the iramsim -j flag).

@@ -17,6 +17,9 @@
 //	-time          compare ns/op (default true; CI disables it because
 //	               wall-clock time is hardware-dependent, while
 //	               allocs/op is deterministic)
+//	-require list  comma-separated benchmark names that must appear in
+//	               this run; fails if any are missing (keeps the guard
+//	               honest when a -bench pattern silently matches nothing)
 //
 // The benchmark name is keyed with its -GOMAXPROCS suffix stripped, so
 // baselines recorded on one core count compare on another.
@@ -53,6 +56,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "allowed relative ns/op increase")
 	allocThreshold := flag.Float64("allocs", 0.02, "allowed relative allocs/op increase")
 	useTime := flag.Bool("time", true, "compare ns/op (disable in CI: wall time is hardware-dependent)")
+	require := flag.String("require", "", "comma-separated benchmark names that must appear in this run")
 	flag.Parse()
 
 	current, err := parseBench(os.Stdin)
@@ -61,6 +65,9 @@ func main() {
 	}
 	if len(current) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if missing := missingRequired(*require, current); len(missing) > 0 {
+		fatal(fmt.Errorf("required benchmark(s) missing from this run: %s", strings.Join(missing, ", ")))
 	}
 
 	if *write {
@@ -187,6 +194,23 @@ func compare(base, current map[string]Result, threshold, allocThreshold float64,
 		}
 	}
 	return sb.String(), failures
+}
+
+// missingRequired returns the names from the comma-separated require
+// list (suffix-stripped keys, e.g. "BenchmarkFig7") absent from the
+// parsed run, in list order.
+func missingRequired(require string, current map[string]Result) []string {
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := current[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	return missing
 }
 
 // rel returns (cur-base)/base, treating a zero baseline as no change

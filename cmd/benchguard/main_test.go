@@ -75,6 +75,23 @@ func TestCompareTimeDisabled(t *testing.T) {
 	}
 }
 
+func TestMissingRequired(t *testing.T) {
+	current := map[string]Result{
+		"BenchmarkFig7":  {NsPerOp: 1},
+		"BenchmarkFig13": {NsPerOp: 1},
+	}
+	if m := missingRequired("", current); len(m) != 0 {
+		t.Errorf("empty require list reported missing: %v", m)
+	}
+	if m := missingRequired("BenchmarkFig7, BenchmarkFig13", current); len(m) != 0 {
+		t.Errorf("present benchmarks reported missing: %v", m)
+	}
+	m := missingRequired("BenchmarkFig7,BenchmarkFig14,BenchmarkFig15", current)
+	if len(m) != 2 || m[0] != "BenchmarkFig14" || m[1] != "BenchmarkFig15" {
+		t.Errorf("missingRequired = %v, want [BenchmarkFig14 BenchmarkFig15]", m)
+	}
+}
+
 func TestComparePassesWithinThreshold(t *testing.T) {
 	base := map[string]Result{"BenchmarkFig7": {NsPerOp: 100, AllocsPerOp: 1000}}
 	cur := map[string]Result{"BenchmarkFig7": {NsPerOp: 115, AllocsPerOp: 1010}}

@@ -27,7 +27,7 @@ func TestQuickGolden(t *testing.T) {
 	opts := quickOpts()
 	ms := experiments.NewMeasurementSet(opts)
 	var buf bytes.Buffer
-	if err := runNames(goldenNames, opts, ms, 1, &buf, io.Discard); err != nil {
+	if err := runNames(goldenNames, opts, ms, 1, nil, &buf, io.Discard); err != nil {
 		t.Fatalf("runNames: %v", err)
 	}
 	got := buf.Bytes()
@@ -99,7 +99,7 @@ func TestMachineFlag(t *testing.T) {
 	opts.Machine = &dev
 	ms := experiments.NewMeasurementSet(opts)
 	var buf bytes.Buffer
-	if err := runNames([]string{"spec", "fig7", "fig8", "fig910", "fig13"}, opts, ms, 1, &buf, io.Discard); err != nil {
+	if err := runNames([]string{"spec", "fig7", "fig8", "fig910", "fig13"}, opts, ms, 1, nil, &buf, io.Discard); err != nil {
 		t.Fatalf("runNames with -machine device: %v", err)
 	}
 	out := buf.String()
@@ -115,12 +115,12 @@ func TestMachineFlag(t *testing.T) {
 	defOpts := quickOpts()
 	defMS := experiments.NewMeasurementSet(defOpts)
 	var defBuf bytes.Buffer
-	if err := runNames([]string{"fig7"}, defOpts, defMS, 1, &defBuf, io.Discard); err != nil {
+	if err := runNames([]string{"fig7"}, defOpts, defMS, 1, nil, &defBuf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var machBuf bytes.Buffer
 	machMS := experiments.NewMeasurementSet(opts)
-	if err := runNames([]string{"fig7"}, opts, machMS, 1, &machBuf, io.Discard); err != nil {
+	if err := runNames([]string{"fig7"}, opts, machMS, 1, nil, &machBuf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Equal(defBuf.Bytes(), machBuf.Bytes()) {

@@ -19,6 +19,9 @@
 //	-j N          worker goroutines for the experiment sweep
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f on exit
+//	-metrics f    write simulator metrics (JSON) to f after the run
+//	-trace f      write the sweep event trace to f after the run
+//	-debug-addr a serve expvar/pprof/metrics on host:port while running
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/selftest"
 	"repro/internal/sweep"
@@ -46,16 +50,34 @@ import (
 // (structured results for downstream plotting).
 var jsonMode bool
 
+// cliConfig gathers the parsed command-line flags.
+type cliConfig struct {
+	quick        bool
+	budget, seed int64
+	procs        string
+	machine      string
+	workers      int
+	cpuprofile   string
+	memprofile   string
+	metrics      string
+	trace        string
+	debugAddr    string
+}
+
 func main() {
-	quick := flag.Bool("quick", false, "reduced-fidelity runs")
+	var c cliConfig
+	flag.BoolVar(&c.quick, "quick", false, "reduced-fidelity runs")
 	flag.BoolVar(&jsonMode, "json", false, "emit experiment results as JSON instead of tables")
-	budget := flag.Int64("budget", 0, "per-workload instruction budget (0 = default)")
-	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
-	procsFlag := flag.String("procs", "", "comma-separated processor counts for fig13..fig17")
-	machine := flag.String("machine", "", "JSON machine description file (overrides the paper's integrated device)")
-	workers := flag.Int("j", runtime.NumCPU(), "worker goroutines for the experiment sweep")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.Int64Var(&c.budget, "budget", 0, "per-workload instruction budget (0 = default)")
+	flag.Int64Var(&c.seed, "seed", 1, "Monte-Carlo seed")
+	flag.StringVar(&c.procs, "procs", "", "comma-separated processor counts for fig13..fig17")
+	flag.StringVar(&c.machine, "machine", "", "JSON machine description file (overrides the paper's integrated device)")
+	flag.IntVar(&c.workers, "j", runtime.NumCPU(), "worker goroutines for the experiment sweep")
+	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&c.metrics, "metrics", "", "write simulator metrics as JSON to this file after the run")
+	flag.StringVar(&c.trace, "trace", "", "write the sweep event trace to this file after the run")
+	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar, pprof, and live metrics on this host:port")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -65,14 +87,14 @@ func main() {
 
 	// mainErr carries the defers (profile flushes) that os.Exit would
 	// skip; fatal runs only after they complete.
-	if err := mainErr(*quick, *budget, *seed, *procsFlag, *machine, *workers, *cpuprofile, *memprofile); err != nil {
+	if err := mainErr(c); err != nil {
 		fatal(err)
 	}
 }
 
-func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers int, cpuprofile, memprofile string) error {
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+func mainErr(c cliConfig) error {
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
 		if err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -82,9 +104,9 @@ func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers 
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if memprofile != "" {
+	if c.memprofile != "" {
 		defer func() {
-			f, err := os.Create(memprofile)
+			f, err := os.Create(c.memprofile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "iramsim: memprofile:", err)
 				return
@@ -98,16 +120,16 @@ func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers 
 	}
 
 	opts := experiments.Default()
-	if quick {
+	if c.quick {
 		opts = experiments.Quick()
 	}
-	if budget > 0 {
-		opts.Budget = budget
+	if c.budget > 0 {
+		opts.Budget = c.budget
 	}
-	opts.Seed = seed
-	if procsFlag != "" {
+	opts.Seed = c.seed
+	if c.procs != "" {
 		var procs []int
-		for _, s := range strings.Split(procsFlag, ",") {
+		for _, s := range strings.Split(c.procs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 1 {
 				return fmt.Errorf("bad -procs value %q", s)
@@ -116,12 +138,30 @@ func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers 
 		}
 		opts.Procs = procs
 	}
-	if machine != "" {
-		dev, err := core.LoadFile(machine)
+	if c.machine != "" {
+		dev, err := core.LoadFile(c.machine)
 		if err != nil {
 			return err
 		}
 		opts.Machine = &dev
+	}
+
+	// Observability is opt-in: with no flag set, opts.Obs and tracer stay
+	// nil and every hook in the simulators is a single pointer check.
+	if c.metrics != "" || c.debugAddr != "" {
+		opts.Obs = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if c.trace != "" {
+		tracer = obs.NewTracer(obs.DefaultShardEvents)
+	}
+	if c.debugAddr != "" {
+		srv, err := opts.Obs.ServeDebug(c.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "iramsim: debug server listening on http://%s/debug/\n", srv.Addr)
 	}
 
 	names := flag.Args()
@@ -131,7 +171,63 @@ func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers 
 	}
 
 	ms := experiments.NewMeasurementSet(opts)
-	return runNames(names, opts, ms, workers, os.Stdout, os.Stderr)
+	runErr := runNames(names, opts, ms, c.workers, tracer, os.Stdout, os.Stderr)
+
+	// Dump metrics and trace even after a failed run: the sweep engine
+	// merges what it measured before reporting its first error, and a
+	// partial dump is exactly what debugging a failed sweep needs.
+	if c.metrics != "" {
+		if err := writeMetrics(c.metrics, opts.Obs); err != nil {
+			if runErr == nil {
+				runErr = err
+			} else {
+				fmt.Fprintln(os.Stderr, "iramsim:", err)
+			}
+		}
+	}
+	if c.trace != "" {
+		if err := writeTrace(c.trace, tracer); err != nil {
+			if runErr == nil {
+				runErr = err
+			} else {
+				fmt.Fprintln(os.Stderr, "iramsim:", err)
+			}
+		}
+	}
+	return runErr
+}
+
+// writeMetrics dumps the registry as indented JSON to path.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	werr := reg.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("metrics: %w", werr)
+	}
+	return nil
+}
+
+// writeTrace drains the tracer's ring buffers to path in global
+// sequence order.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	werr := tr.Drain(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("trace: %w", werr)
+	}
+	return nil
 }
 
 // runNames fans the named experiments' units out over the worker pool
@@ -139,7 +235,7 @@ func mainErr(quick bool, budget, seed int64, procsFlag, machine string, workers 
 // units complete. Output on out is byte-identical for every worker
 // count; progress and timing go to progress only.
 func runNames(names []string, opts experiments.Options, ms *experiments.MeasurementSet,
-	workers int, out io.Writer, progress io.Writer) error {
+	workers int, tracer *obs.Tracer, out io.Writer, progress io.Writer) error {
 	jobs := make([]sweep.Job, 0, len(names))
 	for _, name := range names {
 		j, err := jobFor(name, opts, ms)
@@ -148,7 +244,7 @@ func runNames(names []string, opts experiments.Options, ms *experiments.Measurem
 		}
 		jobs = append(jobs, j)
 	}
-	eng := &sweep.Engine{Workers: workers, Progress: progress}
+	eng := &sweep.Engine{Workers: workers, Progress: progress, Obs: opts.Obs, Trace: tracer}
 	return eng.Run(jobs, func(r sweep.JobResult) error {
 		return render(out, r.Name, r.Value)
 	})
@@ -157,7 +253,7 @@ func runNames(names []string, opts experiments.Options, ms *experiments.Measurem
 // run executes one experiment serially; kept as the single-name entry
 // point (and for tests).
 func run(name string, opts experiments.Options, ms *experiments.MeasurementSet) error {
-	return runNames([]string{name}, opts, ms, 1, os.Stdout, io.Discard)
+	return runNames([]string{name}, opts, ms, 1, nil, os.Stdout, io.Discard)
 }
 
 // jobFor maps a command-line experiment name to a sweep job. The

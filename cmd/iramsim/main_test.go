@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // cheap experiments exercised through the dispatcher (the heavyweight
@@ -43,7 +48,7 @@ func sweepOutput(t *testing.T, workers int, opts experiments.Options) []byte {
 	names := []string{"spec", "cost", "table1", "fig7", "table3", "fig13", "ablate-scoreboard", "fabric"}
 	ms := experiments.NewMeasurementSet(opts)
 	var buf bytes.Buffer
-	if err := runNames(names, opts, ms, workers, &buf, io.Discard); err != nil {
+	if err := runNames(names, opts, ms, workers, nil, &buf, io.Discard); err != nil {
 		t.Fatalf("runNames(j=%d): %v", workers, err)
 	}
 	return buf.Bytes()
@@ -88,7 +93,7 @@ func TestFastPathMatchesReplayTables(t *testing.T) {
 	names := []string{"fig7", "fig8", "table3"}
 	render := func(ms *experiments.MeasurementSet) []byte {
 		var buf bytes.Buffer
-		if err := runNames(names, opts, ms, 4, &buf, io.Discard); err != nil {
+		if err := runNames(names, opts, ms, 4, nil, &buf, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -100,6 +105,74 @@ func TestFastPathMatchesReplayTables(t *testing.T) {
 	}
 	if !bytes.Equal(fast, replay) {
 		t.Errorf("fast and replay tables differ:\n--- fast ---\n%s\n--- replay ---\n%s", fast, replay)
+	}
+}
+
+// TestMetricsFlag drives the -metrics/-trace path end to end: a quick
+// fig7+fig13 run with a live registry must (a) leave the experiment
+// output byte-identical to an uninstrumented run, (b) dump JSON that
+// encoding/json parses (no NaN/Inf leaks), and (c) populate the sweep,
+// cache, mpsim, and coherence metric families.
+func TestMetricsFlag(t *testing.T) {
+	names := []string{"fig7", "fig13"}
+
+	plain := quickOpts()
+	plainMS := experiments.NewMeasurementSet(plain)
+	var plainBuf bytes.Buffer
+	if err := runNames(names, plain, plainMS, 2, nil, &plainBuf, io.Discard); err != nil {
+		t.Fatalf("uninstrumented run: %v", err)
+	}
+
+	opts := quickOpts()
+	opts.Obs = obs.NewRegistry()
+	tracer := obs.NewTracer(1 << 10)
+	ms := experiments.NewMeasurementSet(opts)
+	var buf bytes.Buffer
+	if err := runNames(names, opts, ms, 2, tracer, &buf, io.Discard); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if !bytes.Equal(plainBuf.Bytes(), buf.Bytes()) {
+		t.Error("instrumentation changed the experiment output")
+	}
+
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.json")
+	if err := writeMetrics(mpath, opts.Obs); err != nil {
+		t.Fatalf("writeMetrics: %v", err)
+	}
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump map[string]map[string]interface{}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v\n%s", err, raw)
+	}
+	for _, fam := range []string{"sweep", "cache", "mpsim", "coherence"} {
+		if len(dump[fam]) == 0 {
+			t.Errorf("metrics dump missing family %q; have %v", fam, dump)
+		}
+	}
+	if v, ok := dump["sweep"]["units_completed"].(float64); !ok || v <= 0 {
+		t.Errorf("sweep/units_completed = %v, want > 0", dump["sweep"]["units_completed"])
+	}
+	if v, ok := dump["mpsim"]["grants"].(float64); !ok || v < 0 {
+		t.Errorf("mpsim/grants = %v, want >= 0", dump["mpsim"]["grants"])
+	}
+
+	tpath := filepath.Join(dir, "trace.log")
+	if err := writeTrace(tpath, tracer); err != nil {
+		t.Fatalf("writeTrace: %v", err)
+	}
+	tr, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), "unit_done") {
+		t.Errorf("trace has no unit_done events:\n%s", tr)
+	}
+	if !strings.Contains(string(tr), "# trace:") {
+		t.Errorf("trace missing summary line:\n%s", tr)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mpsim"
+	"repro/internal/obs"
 	"repro/internal/paperref"
 	"repro/internal/trace"
 )
@@ -273,6 +274,41 @@ func (m *Machine) Access(proc int, addr uint64, write bool) uint64 {
 	return lat + coherencePenalty
 }
 
+// Publish adds the machine's protocol statistics — and the per-node
+// INC/column-fill/page-allocation accounting, summed across nodes — to
+// reg's "coherence" family. Counters accumulate, so a sweep publishing
+// after every run builds whole-sweep totals. A nil registry is a no-op.
+func (m *Machine) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("coherence", "accesses").Add(m.Accesses)
+	reg.Counter("coherence", "hits").Add(m.Hits)
+	reg.Counter("coherence", "local_accesses").Add(m.LocalAccesses)
+	reg.Counter("coherence", "remote_loads").Add(m.RemoteLoads)
+	reg.Counter("coherence", "invalidations").Add(m.Invalidations)
+	var incHits, incMisses, incEvictions, incInvalidates int64
+	var columnFills, pageAllocs int64
+	for _, node := range m.Nodes {
+		switch n := node.(type) {
+		case *IntegratedNode:
+			incHits += n.inc.Hits
+			incMisses += n.inc.Misses
+			incEvictions += n.inc.Evictions
+			incInvalidates += n.inc.Invalidates
+			columnFills += n.ColumnFills
+		case *SCOMANode:
+			pageAllocs += n.Allocations
+		}
+	}
+	reg.Counter("coherence", "inc_hits").Add(incHits)
+	reg.Counter("coherence", "inc_misses").Add(incMisses)
+	reg.Counter("coherence", "inc_evictions").Add(incEvictions)
+	reg.Counter("coherence", "inc_invalidates").Add(incInvalidates)
+	reg.Counter("coherence", "column_fills").Add(columnFills)
+	reg.Counter("coherence", "page_allocs").Add(pageAllocs)
+}
+
 func (m *Machine) invalidateSharers(e *dirEntry, except int, block uint64) {
 	for n := 0; n < len(m.Nodes); n++ {
 		if n == except {
@@ -312,6 +348,11 @@ type INC struct {
 	valid  []bool
 	Hits   int64
 	Misses int64
+	// Evictions counts valid LRU ways displaced by Insert; Invalidates
+	// counts blocks removed by protocol invalidations. Together with
+	// Hits/Misses they are the INC's full event accounting.
+	Evictions   int64
+	Invalidates int64
 }
 
 // NewINC builds an INC of the given total data capacity in bytes
@@ -395,6 +436,9 @@ func (c *INC) Lookup(block uint64) bool {
 // Insert places the block at MRU, evicting the set's LRU way.
 func (c *INC) Insert(block uint64) {
 	blocks, valid := c.row(block)
+	if valid[c.ways-1] {
+		c.Evictions++
+	}
 	copy(blocks[1:], blocks[:c.ways-1])
 	copy(valid[1:], valid[:c.ways-1])
 	blocks[0] = block
@@ -406,6 +450,7 @@ func (c *INC) Invalidate(block uint64) bool {
 	blocks, valid := c.row(block)
 	for w := 0; w < c.ways; w++ {
 		if valid[w] && blocks[w] == block {
+			c.Invalidates++
 			copy(blocks[w:], blocks[w+1:])
 			// The LRU way is dropped along with the invalidated block
 			// (cleared before the flag compaction, so the way shifted

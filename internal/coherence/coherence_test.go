@@ -3,6 +3,8 @@ package coherence
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func newRefMachine(n int) *Machine {
@@ -179,6 +181,68 @@ func TestINCInvalidate(t *testing.T) {
 	if inc.Invalidate(40) {
 		t.Error("double Invalidate hit")
 	}
+}
+
+// TestINCEventAccounting: Evictions counts only valid LRU ways dropped
+// by Insert, and Invalidates counts only blocks actually removed.
+func TestINCEventAccounting(t *testing.T) {
+	inc := NewINC(512*8, 32)
+	sets := uint64(inc.Sets())
+	// Filling the seven ways of set 0 evicts nothing.
+	for i := uint64(0); i < 7; i++ {
+		inc.Insert(i * sets)
+	}
+	if inc.Evictions != 0 {
+		t.Errorf("evictions while filling = %d, want 0", inc.Evictions)
+	}
+	// Two more inserts displace the two LRU ways.
+	inc.Insert(7 * sets)
+	inc.Insert(8 * sets)
+	if inc.Evictions != 2 {
+		t.Errorf("evictions after overflow = %d, want 2", inc.Evictions)
+	}
+	// One real invalidation plus one miss: only the hit counts.
+	inc.Invalidate(8 * sets)
+	inc.Invalidate(8 * sets)
+	if inc.Invalidates != 1 {
+		t.Errorf("invalidates = %d, want 1", inc.Invalidates)
+	}
+}
+
+// TestMachinePublish: machine and summed per-node statistics land in
+// the registry's "coherence" family; a nil registry is a no-op.
+func TestMachinePublish(t *testing.T) {
+	m := newIntMachine(2, true)
+	// Node 0 writes its own blocks (local column fills), then node 1
+	// reads them (remote loads through its INC).
+	for i := uint64(0); i < 64; i++ {
+		m.Access(0, i*32, true)
+	}
+	for i := uint64(0); i < 64; i++ {
+		m.Access(1, i*32, false)
+	}
+	reg := obs.NewRegistry()
+	m.Publish(reg)
+	if got := reg.Counter("coherence", "accesses").Value(); got != m.Accesses {
+		t.Errorf("accesses = %d, want %d", got, m.Accesses)
+	}
+	if got := reg.Counter("coherence", "remote_loads").Value(); got != m.RemoteLoads {
+		t.Errorf("remote_loads = %d, want %d", got, m.RemoteLoads)
+	}
+	var wantFills int64
+	for _, n := range m.Nodes {
+		wantFills += n.(*IntegratedNode).ColumnFills
+	}
+	if wantFills == 0 {
+		t.Fatal("workload produced no column fills")
+	}
+	if got := reg.Counter("coherence", "column_fills").Value(); got != wantFills {
+		t.Errorf("column_fills = %d, want %d", got, wantFills)
+	}
+	if reg.Counter("coherence", "inc_hits").Value()+reg.Counter("coherence", "inc_misses").Value() == 0 {
+		t.Error("no INC activity published")
+	}
+	m.Publish(nil) // must not panic
 }
 
 // TestSingleWriterInvariant (property): after any access sequence, at

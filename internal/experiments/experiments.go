@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpumodel"
+	"repro/internal/obs"
 	"repro/internal/paperref"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -41,6 +42,11 @@ type Options struct {
 	// DSBanks / DSColumns / DSVictims override the designspace sweep
 	// axes (nil = built-in defaults; see DesignspaceJob).
 	DSBanks, DSColumns, DSVictims []int
+	// Obs, when non-nil, receives per-workload cache measurements, the
+	// coherence machines' protocol statistics, and mpsim coordinator
+	// accounting (the iramsim -metrics flag). Nil costs one pointer
+	// check at each publication site and changes no experiment output.
+	Obs *obs.Registry
 }
 
 // Device returns the integrated device the experiments run against.
@@ -121,8 +127,33 @@ func (s *MeasurementSet) Get(w workload.Workload) (*workload.Measurement, error)
 		} else {
 			e.m, e.err = workload.RunDevices(w, s.opts.Budget, prop, ref)
 		}
+		if e.err == nil {
+			// Single-flight makes this the one place a workload's
+			// measurement materialises, so each workload publishes its
+			// cache-level metrics exactly once per sweep.
+			publishCacheMetrics(s.opts.Obs, w.Name, e.m)
+		}
 	})
 	return e.m, e.err
+}
+
+// publishCacheMetrics records one workload's proposed-organisation
+// cache measurement into reg's "cache" family (miss/reference counts
+// for the I-cache, D-cache, and victim-augmented D-cache). A nil
+// registry is a no-op.
+func publishCacheMetrics(reg *obs.Registry, name string, m *workload.Measurement) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("cache", name+"/instructions").Add(m.Instr)
+	i := m.Caches.PropIStats().Ifetch
+	reg.Counter("cache", name+"/icache_misses").Add(i.Events)
+	reg.Counter("cache", name+"/icache_refs").Add(i.Total)
+	d := m.Caches.PropDStats().Data()
+	reg.Counter("cache", name+"/dcache_misses").Add(d.Events)
+	reg.Counter("cache", name+"/dcache_refs").Add(d.Total)
+	v := m.Caches.PropDVictimStats().Data()
+	reg.Counter("cache", name+"/dcache_victim_misses").Add(v.Events)
 }
 
 // ---------------------------------------------------------------------

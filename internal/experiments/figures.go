@@ -367,6 +367,7 @@ func table1Estimate(o Options, h *memsys.Hierarchy) (memsys.RunEstimate, error) 
 	if budget <= 0 {
 		budget = w.Budget
 	}
+	h.Instrument(o.Obs)
 	est := &memsys.Estimator{H: h}
 	if _, err := vm.RunProgram(w.Build(), est, budget); err != nil {
 		return memsys.RunEstimate{}, err
@@ -436,6 +437,7 @@ func Fig2Job(o Options) sweep.Job {
 			Name: "fig2/" + labels[i],
 			Run: func() (interface{}, error) {
 				h := build()
+				h.Instrument(o.Obs)
 				s := fig2Surface{name: h.Name, avgNs: map[uint64]map[uint64]float64{}}
 				for _, sz := range fig2Sizes {
 					s.avgNs[sz] = map[uint64]float64{}

@@ -90,7 +90,14 @@ func SplashNameJob(o Options, jobName, bench string) sweep.Job {
 					if err != nil {
 						return nil, err
 					}
-					r := b.RunDevices(np, cfg, sz, o.Device(), core.Reference())
+					prop := o.Device()
+					m := coherence.NewConfiguredMachineDevices(cfg, np,
+						uint64(prop.CoherenceUnitBytes), prop, core.Reference())
+					r := b.RunMachine(np, m, sz)
+					if o.Obs != nil {
+						m.Publish(o.Obs)
+						r.Coord.Publish(o.Obs)
+					}
 					return SplashPoint{Config: cfg, Procs: np, Cycles: r.Cycles}, nil
 				},
 			})
@@ -224,7 +231,15 @@ func SCOMAJob(o Options) sweep.Job {
 			units = append(units, sweep.Unit{
 				Name: fmt.Sprintf("scoma/%s/%s", b.Name, cfg),
 				Run: func() (interface{}, error) {
-					return b.RunDevices(procs, cfg, sz, o.Device(), core.Reference()).Cycles, nil
+					prop := o.Device()
+					m := coherence.NewConfiguredMachineDevices(cfg, procs,
+						uint64(prop.CoherenceUnitBytes), prop, core.Reference())
+					r := b.RunMachine(procs, m, sz)
+					if o.Obs != nil {
+						m.Publish(o.Obs)
+						r.Coord.Publish(o.Obs)
+					}
+					return r.Cycles, nil
 				},
 			})
 		}

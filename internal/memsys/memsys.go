@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,20 @@ type Hierarchy struct {
 	lastAddr  uint64
 	lastDelta int64
 	haveLast  bool
+
+	// obs, when non-nil (set by Instrument), receives per-level access
+	// accounting. The hot path pays one pointer check when nil.
+	obs *hierObs
+}
+
+// hierObs bundles the metric handles Instrument resolves once, so
+// AccessNs never performs registry lookups.
+type hierObs struct {
+	levelHits      []*obs.Counter
+	prefetchHits   *obs.Counter
+	memoryAccesses *obs.Counter
+	accesses       *obs.Counter
+	latency        *obs.Histogram
 }
 
 // LevelSpec is the declarative description of one cache level.
@@ -153,6 +168,30 @@ func IntegratedFrom(d core.Device) *Hierarchy { return SpecFor(d).Build() }
 // "cache" at 5 ns in front of a 30 ns DRAM array.
 func Integrated() *Hierarchy { return IntegratedFrom(core.Proposed()) }
 
+// Instrument publishes the hierarchy's per-level hit counts, prefetch
+// and memory access counts, and its access latency distribution into
+// reg's "cache" family (metric names are prefixed with the hierarchy
+// name, so several hierarchies share one registry). Fresh hierarchies
+// built from the same spec resolve to the same metrics, so sweeps that
+// rebuild per unit accumulate one series per machine. A nil registry
+// leaves the hierarchy uninstrumented.
+func (h *Hierarchy) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ho := &hierObs{
+		prefetchHits:   reg.Counter("cache", h.Name+"/prefetch_hits"),
+		memoryAccesses: reg.Counter("cache", h.Name+"/memory_accesses"),
+		accesses:       reg.Counter("cache", h.Name+"/accesses"),
+		latency:        reg.Histogram("cache", h.Name+"/access_ns", 0, h.MemoryNs+1, 16),
+	}
+	for i := range h.Levels {
+		ho.levelHits = append(ho.levelHits,
+			reg.Counter("cache", fmt.Sprintf("%s/L%d_hits", h.Name, i+1)))
+	}
+	h.obs = ho
+}
+
 // AccessNs simulates one data access and returns its latency in
 // nanoseconds. Lower levels are filled on a miss (inclusive hierarchy).
 func (h *Hierarchy) AccessNs(addr uint64, kind trace.Kind) float64 {
@@ -167,6 +206,11 @@ func (h *Hierarchy) AccessNs(addr uint64, kind trace.Kind) float64 {
 	h.haveLast = true
 	for i := range h.Levels {
 		if h.Levels[i].Cache.Access(addr, kind) {
+			if h.obs != nil {
+				h.obs.accesses.Inc()
+				h.obs.levelHits[i].Inc()
+				h.obs.latency.Add(h.Levels[i].LatencyNs)
+			}
 			return h.Levels[i].LatencyNs
 		}
 	}
@@ -176,8 +220,18 @@ func (h *Hierarchy) AccessNs(addr uint64, kind trace.Kind) float64 {
 		if delta == prevDelta && delta > 0 && uint64(delta) <= h.PrefetchStride {
 			// The prefetch unit has already issued this access.
 			last := h.Levels[len(h.Levels)-1]
+			if h.obs != nil {
+				h.obs.accesses.Inc()
+				h.obs.prefetchHits.Inc()
+				h.obs.latency.Add(last.LatencyNs)
+			}
 			return last.LatencyNs
 		}
+	}
+	if h.obs != nil {
+		h.obs.accesses.Inc()
+		h.obs.memoryAccesses.Inc()
+		h.obs.latency.Add(h.MemoryNs)
 	}
 	return h.MemoryNs
 }

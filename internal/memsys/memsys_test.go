@@ -3,6 +3,7 @@ package memsys
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -119,6 +120,56 @@ func TestAccessNsZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("AccessNs allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestAccessNsZeroAllocsInstrumented repeats the guard with a live
+// metrics registry attached: instrumentation must be allocation-free
+// when on, not just when off.
+func TestAccessNsZeroAllocsInstrumented(t *testing.T) {
+	h := SS10()
+	h.Instrument(obs.NewRegistry())
+	h.Reset()
+	addr := uint64(0x40000000)
+	allocs := testing.AllocsPerRun(10_000, func() {
+		h.AccessNs(addr, trace.Load)
+		addr += 32
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented AccessNs allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestInstrumentAccounting: the cache family's counters add up — every
+// access is exactly one of a level hit, a prefetch hit, or a memory
+// access, and the latency histogram sees all of them.
+func TestInstrumentAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := SS10()
+	h.Instrument(reg)
+	h.Walk(1<<20, 64)
+
+	total := reg.Counter("cache", "SS-10/61/accesses").Value()
+	if total == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	sum := reg.Counter("cache", "SS-10/61/L1_hits").Value() +
+		reg.Counter("cache", "SS-10/61/L2_hits").Value() +
+		reg.Counter("cache", "SS-10/61/prefetch_hits").Value() +
+		reg.Counter("cache", "SS-10/61/memory_accesses").Value()
+	if sum != total {
+		t.Errorf("outcome counters sum to %d, want %d", sum, total)
+	}
+	// Walking with a 64-byte stride keeps the SS-10 prefetcher engaged,
+	// so prefetch hits must show up.
+	if reg.Counter("cache", "SS-10/61/prefetch_hits").Value() == 0 {
+		t.Error("no prefetch hits on a 64-byte-stride walk")
+	}
+	// Uninstrumented hierarchies record nothing.
+	h2 := SS5()
+	h2.Walk(1<<16, 32)
+	if got := reg.Counter("cache", "SS-5/accesses").Value(); got != 0 {
+		t.Errorf("uninstrumented hierarchy recorded %d accesses", got)
 	}
 }
 

@@ -45,6 +45,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Memory is the architecture timing model (implemented by
@@ -82,6 +84,13 @@ type Proc struct {
 
 	sim     *sim
 	pending uint64 // accumulated compute cycles not yet posted
+
+	// Per-proc await outcome counters. await runs outside the admission
+	// mutex, so these must be goroutine-local; Run sums them after the
+	// pool joins.
+	awaitImmediate int64
+	awaitSpins     int64
+	awaitParks     int64
 }
 
 // Read issues a shared-memory load.
@@ -191,6 +200,7 @@ func (p *Proc) selfServe(kind opKind, addr uint64, write bool, lockID int) bool 
 		}
 		s.time[p.ID] = t + lat
 		s.accesses++
+		s.selfServes++ // owner-exclusive: plain increment is race-free
 		return true
 	case opLock:
 		l := s.lock(lockID)
@@ -199,6 +209,7 @@ func (p *Proc) selfServe(kind opKind, addr uint64, write bool, lockID int) bool 
 		}
 		p.pending = 0
 		s.lockOps++
+		s.selfServes++
 		l.held = true
 		l.owner = pid
 		if l.lastFree > t {
@@ -214,6 +225,7 @@ func (p *Proc) selfServe(kind opKind, addr uint64, write bool, lockID int) bool 
 		}
 		p.pending = 0
 		s.lockOps++
+		s.selfServes++
 		s.time[p.ID] = t
 		l.lastFree = t
 		l.held = false
@@ -230,6 +242,57 @@ type Result struct {
 	Accesses   int64
 	LockOps    int64
 	Barriers   int64
+	Coord      CoordStats
+}
+
+// CoordStats is the admission machinery's own accounting: how
+// operations were served (inline under self-serve rights vs. through
+// the posted path), how grants were delivered (consumed at the spin
+// gate vs. a goroutine park on the reply channel), and how deep the
+// admission heap got. It is bookkeeping about the simulator, not the
+// simulated machine, and costs plain field increments already under
+// the admission mutex (or goroutine-local, for await outcomes).
+type CoordStats struct {
+	SelfServes     int64 // operations served inline, no mutex, no handoff
+	Grants         int64 // grants issued through the posted path
+	GateWakes      int64 // grants delivered via the spin gate CAS
+	ChannelWakes   int64 // grants delivered via the park channel
+	AwaitImmediate int64 // grant already pending when the waiter arrived
+	AwaitSpins     int64 // grant consumed during (or right after) the spin loop
+	AwaitParks     int64 // waiter parked on the reply channel
+	MaxHeapDepth   int   // admission heap high-water mark
+}
+
+// Publish adds the coordinator accounting to reg's "mpsim" family
+// (counters accumulate across runs; the heap depth is a high-water
+// gauge). A nil registry is a no-op.
+func (c CoordStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("mpsim", "self_serves").Add(c.SelfServes)
+	reg.Counter("mpsim", "grants").Add(c.Grants)
+	reg.Counter("mpsim", "gate_wakes").Add(c.GateWakes)
+	reg.Counter("mpsim", "channel_wakes").Add(c.ChannelWakes)
+	reg.Counter("mpsim", "await_immediate").Add(c.AwaitImmediate)
+	reg.Counter("mpsim", "await_spins").Add(c.AwaitSpins)
+	reg.Counter("mpsim", "await_parks").Add(c.AwaitParks)
+	reg.Gauge("mpsim", "heap_depth_max").SetMax(int64(c.MaxHeapDepth))
+}
+
+// Deterministic returns a copy with the wake-delivery accounting
+// (gate vs. channel split, immediate/spin/park await outcomes) zeroed.
+// Those fields depend on host goroutine scheduling by design: what is
+// granted, and at which virtual time, never varies, but which doorbell
+// delivers a grant does. Determinism tests compare Results after
+// applying this; SelfServes, Grants, and MaxHeapDepth stay exact.
+func (c CoordStats) Deterministic() CoordStats {
+	c.GateWakes = 0
+	c.ChannelWakes = 0
+	c.AwaitImmediate = 0
+	c.AwaitSpins = 0
+	c.AwaitParks = 0
+	return c
 }
 
 // Imbalance returns the load imbalance: max finish time over mean
@@ -275,6 +338,14 @@ type sim struct {
 	accesses int64
 	lockOps  int64
 	barriers int64
+
+	// Coordinator accounting (see CoordStats). All written under s.mu
+	// except the per-proc await outcomes, which live on each Proc.
+	selfServes int64
+	grants     int64
+	gateWakes  int64
+	chanWakes  int64
+	maxHeap    int
 }
 
 // horizon is a processor's self-serve admission bound: the (time, id)
@@ -313,11 +384,13 @@ const spinIters = 1536
 func (p *Proc) await(spin bool) {
 	g := &p.sim.gates[p.ID].v
 	if g.CompareAndSwap(1, 0) {
+		p.awaitImmediate++
 		return
 	}
 	if spin {
 		for i := 0; i < spinIters; i++ {
 			if g.Load() == 1 && g.CompareAndSwap(1, 0) {
+				p.awaitSpins++
 				return
 			}
 			if i == 512 {
@@ -327,10 +400,13 @@ func (p *Proc) await(spin bool) {
 	}
 	if g.CompareAndSwap(0, 2) {
 		<-p.sim.reply[p.ID] // driver saw the parked state and sent a token
+		p.awaitParks++
 		return
 	}
-	// The grant landed between the spin and the CAS.
+	// The grant landed between the spin and the CAS: consumed without a
+	// park, so it counts as a spin outcome.
 	g.Store(0)
+	p.awaitSpins++
 }
 
 // wake delivers a grant to pid: through the gate if the waiter is
@@ -339,8 +415,11 @@ func (p *Proc) await(spin bool) {
 func (s *sim) wake(pid int32) {
 	if !s.gates[pid].v.CompareAndSwap(0, 1) {
 		s.gates[pid].v.Store(0)
+		s.chanWakes++ // wake always runs under s.mu
 		s.reply[pid] <- struct{}{}
+		return
 	}
+	s.gateWakes++
 }
 
 type lockState struct {
@@ -382,9 +461,13 @@ func Run(n int, mem Memory, costs SyncCosts, body func(p *Proc)) Result {
 	// here so callers can recover them as before.
 	panicCh := make(chan any, 1)
 	var wg sync.WaitGroup
+	// Retained so the per-proc await outcome counters can be summed
+	// after the pool joins (one constant allocation per run, not per op).
+	procs := make([]*Proc, n)
 	for i := 0; i < n; i++ {
 		s.reply[i] = make(chan struct{}, 1)
 		p := &Proc{ID: i, N: n, sim: s}
+		procs[i] = p
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -417,6 +500,18 @@ func Run(n int, mem Memory, costs SyncCosts, body func(p *Proc)) Result {
 		Accesses:   s.accesses,
 		LockOps:    s.lockOps,
 		Barriers:   s.barriers,
+		Coord: CoordStats{
+			SelfServes:   s.selfServes,
+			Grants:       s.grants,
+			GateWakes:    s.gateWakes,
+			ChannelWakes: s.chanWakes,
+			MaxHeapDepth: s.maxHeap,
+		},
+	}
+	for _, p := range procs {
+		res.Coord.AwaitImmediate += p.awaitImmediate
+		res.Coord.AwaitSpins += p.awaitSpins
+		res.Coord.AwaitParks += p.awaitParks
 	}
 	for _, t := range s.time {
 		if t > res.Cycles {
@@ -469,6 +564,9 @@ func (s *sim) push(pid int32) {
 		i = parent
 	}
 	s.heap = h
+	if len(h) > s.maxHeap {
+		s.maxHeap = len(h)
+	}
 }
 
 // pop removes and returns the earliest posted proc.
@@ -506,6 +604,7 @@ func (s *sim) pop() int32 {
 func (s *sim) grant(pid int32) {
 	s.fast[pid].ok = false
 	s.running++
+	s.grants++
 	s.wake(pid)
 }
 
@@ -529,6 +628,7 @@ func (s *sim) grantFast(pid int32) {
 		h.time, h.id, h.ok = ^uint64(0), int32(1<<30), true
 	}
 	s.running++
+	s.grants++
 	s.wake(pid)
 }
 

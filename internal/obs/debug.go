@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish
+// panics on duplicate names, and tests (or a CLI run that restarts the
+// debug server) may install more than one registry over a process
+// lifetime, so the published Func indirects through a swappable pointer.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarReg  *Registry
+)
+
+// PublishExpvar exposes the registry's snapshot as the expvar variable
+// "iramsim" (rendered inside /debug/vars). Safe to call more than once;
+// the latest registry wins.
+func (r *Registry) PublishExpvar() {
+	expvarMu.Lock()
+	expvarReg = r
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("iramsim", expvar.Func(func() interface{} {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarReg.Snapshot()
+		}))
+	})
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	Addr string // actual listen address (resolves ":0" requests)
+	srv  *http.Server
+}
+
+// ServeDebug starts an HTTP server on addr exposing, while a long sweep
+// runs:
+//
+//	/debug/vars          expvar (including the "iramsim" registry snapshot)
+//	/debug/pprof/...     net/http/pprof profiles
+//	/debug/metrics       the registry's JSON dump, rendered on demand
+//
+// The server runs until Close. It uses its own mux, so nothing leaks
+// into http.DefaultServeMux.
+func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+	r.PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

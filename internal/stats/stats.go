@@ -81,20 +81,31 @@ func (r *Running) Min() float64 { return r.min }
 // Max returns the largest sample, or 0 with no samples.
 func (r *Running) Max() float64 { return r.max }
 
-// Variance returns the unbiased sample variance (n-1 denominator).
+// Variance returns the unbiased sample variance (n-1 denominator), or 0
+// with fewer than two samples. The result is clamped at 0: Merge's
+// pairwise combination can round the second moment a hair below zero
+// when shards have near-identical means, and propagating that negative
+// value would turn StdDev into NaN.
 func (r *Running) Variance() float64 {
 	if r.n < 2 {
 		return 0
 	}
-	return r.m2 / float64(r.n-1)
+	v := r.m2 / float64(r.n-1)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
-// StdDev returns the sample standard deviation.
+// StdDev returns the sample standard deviation, or 0 with fewer than
+// two samples.
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
-// StdErr returns the standard error of the mean.
+// StdErr returns the standard error of the mean, or 0 with fewer than
+// two samples (a single sample carries no spread information, and the
+// n==0 case would otherwise divide by sqrt(0)).
 func (r *Running) StdErr() float64 {
-	if r.n < 1 {
+	if r.n < 2 {
 		return 0
 	}
 	return r.StdDev() / math.Sqrt(float64(r.n))
@@ -162,7 +173,9 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, buckets)}
 }
 
-// Add records one observation.
+// Add records one observation. Values outside [Lo, Hi) are clamped:
+// x < Lo lands in the first bucket and x >= Hi in the last, so every
+// observation is counted and N always equals the number of Adds.
 func (h *Histogram) Add(x float64) {
 	i := int(float64(len(h.Buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
 	if i < 0 {
@@ -178,11 +191,23 @@ func (h *Histogram) Add(x float64) {
 // N returns the total number of observations.
 func (h *Histogram) N() int64 { return h.n }
 
-// Quantile returns an approximation of the q-quantile (0 <= q <= 1)
-// assuming observations are uniform within a bucket.
+// Quantile returns an approximation of the q-quantile assuming
+// observations are uniform within a bucket. The result is always inside
+// [Lo, Hi]: q is clamped to [0, 1], an empty histogram reports Lo,
+// q == 0 reports the lower edge of the first non-empty bucket, and
+// q == 1 reports the upper edge of the last non-empty bucket even when
+// trailing buckets are empty. Because Add clamps out-of-range
+// observations into the edge buckets, quantiles of clamped data are
+// still bounded by [Lo, Hi], not by the raw observed values.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return h.Lo
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := q * float64(h.n)
 	var cum float64

@@ -39,6 +39,66 @@ func TestRunningEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestRunningSmallN: every derived statistic is finite and zero on
+// empty and single-sample accumulators, so a metrics dump of an idle
+// accumulator always JSON-encodes (encoding/json rejects NaN).
+func TestRunningSmallN(t *testing.T) {
+	single := Running{}
+	single.Add(42)
+	cases := []struct {
+		name string
+		r    Running
+		n    int64
+		mean float64
+		min  float64
+		max  float64
+	}{
+		{name: "n=0", r: Running{}, n: 0, mean: 0, min: 0, max: 0},
+		{name: "n=1", r: single, n: 1, mean: 42, min: 42, max: 42},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tc.r
+			if r.N() != tc.n {
+				t.Errorf("N = %d, want %d", r.N(), tc.n)
+			}
+			if r.Mean() != tc.mean || r.Min() != tc.min || r.Max() != tc.max {
+				t.Errorf("mean/min/max = %v/%v/%v, want %v/%v/%v",
+					r.Mean(), r.Min(), r.Max(), tc.mean, tc.min, tc.max)
+			}
+			for name, got := range map[string]float64{
+				"Variance": r.Variance(),
+				"StdDev":   r.StdDev(),
+				"StdErr":   r.StdErr(),
+				"CI95":     r.CI95(),
+			} {
+				if got != 0 {
+					t.Errorf("%s = %v, want 0", name, got)
+				}
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Errorf("%s = %v, must be finite", name, got)
+				}
+			}
+		})
+	}
+}
+
+// TestVarianceClampsNegativeM2: Merge's pairwise combination can round
+// the second moment slightly negative when shards have near-identical
+// means; Variance must clamp rather than let StdDev go NaN.
+func TestVarianceClampsNegativeM2(t *testing.T) {
+	r := Running{n: 3, mean: 1, m2: -1e-18}
+	if v := r.Variance(); v != 0 {
+		t.Errorf("Variance with negative m2 = %v, want 0", v)
+	}
+	if sd := r.StdDev(); sd != 0 || math.IsNaN(sd) {
+		t.Errorf("StdDev with negative m2 = %v, want 0", sd)
+	}
+	if se := r.StdErr(); math.IsNaN(se) || se != 0 {
+		t.Errorf("StdErr with negative m2 = %v, want 0", se)
+	}
+}
+
 // TestRunningMatchesDirect (property): Welford result equals the
 // two-pass computation.
 func TestRunningMatchesDirect(t *testing.T) {
@@ -182,6 +242,62 @@ func TestHistogram(t *testing.T) {
 	if h.Buckets[0] < 1 || h.Buckets[9] < 1 {
 		t.Error("out-of-range values not clamped")
 	}
+}
+
+// TestHistogramQuantileBoundaries pins the clamping contract documented
+// on Quantile: results stay inside [Lo, Hi] for q at and beyond the
+// boundaries, with trailing empty buckets, and with clamped
+// out-of-range observations.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram(10, 20, 5)
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := h.Quantile(q); got != 10 {
+				t.Errorf("Quantile(%v) on empty = %v, want Lo=10", q, got)
+			}
+		}
+	})
+	t.Run("q0-and-q1-trailing-empty", func(t *testing.T) {
+		// Observations only in bucket 1 of [0,100)/10 buckets: buckets
+		// 2..9 are empty tails.
+		h := NewHistogram(0, 100, 10)
+		for i := 0; i < 7; i++ {
+			h.Add(15)
+		}
+		if got := h.Quantile(0); got != 10 {
+			t.Errorf("Quantile(0) = %v, want lower edge 10", got)
+		}
+		if got := h.Quantile(1); got != 20 {
+			t.Errorf("Quantile(1) = %v, want upper edge 20 (not Hi=100)", got)
+		}
+	})
+	t.Run("q-clamped", func(t *testing.T) {
+		h := NewHistogram(0, 100, 10)
+		for i := 0; i < 100; i++ {
+			h.Add(float64(i))
+		}
+		if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+			t.Errorf("Quantile(-0.5) = %v, want Quantile(0)=%v", got, want)
+		}
+		if got, want := h.Quantile(1.5), h.Quantile(1); got != want {
+			t.Errorf("Quantile(1.5) = %v, want Quantile(1)=%v", got, want)
+		}
+		if got := h.Quantile(-0.5); got < 0 {
+			t.Errorf("Quantile(-0.5) = %v, below Lo", got)
+		}
+	})
+	t.Run("clamped-observations", func(t *testing.T) {
+		h := NewHistogram(0, 100, 10)
+		h.Add(-50) // clamps into first bucket
+		h.Add(1e9) // clamps into last bucket
+		lo, hi := h.Quantile(0), h.Quantile(1)
+		if lo < 0 || hi > 100 {
+			t.Errorf("quantiles of clamped data = [%v, %v], must stay in [0,100]", lo, hi)
+		}
+		if hi != 100 {
+			t.Errorf("Quantile(1) with clamped max = %v, want upper edge 100", hi)
+		}
+	})
 }
 
 func TestHistogramPanics(t *testing.T) {

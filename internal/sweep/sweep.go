@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -82,6 +83,14 @@ type Engine struct {
 	// therefore go to a different stream than the deterministic
 	// experiment output (the CLI sends it to stderr).
 	Progress io.Writer
+	// Obs, when non-nil, receives sweep metrics under the "sweep"
+	// family: unit/job completion counters, per-unit and per-job
+	// timings, worker count, and queue-depth high-water mark. A nil
+	// registry costs one pointer check per hook.
+	Obs *obs.Registry
+	// Trace, when non-nil, records one unit_start/unit_done (or
+	// unit_skipped/unit_failed) event per unit into per-worker shards.
+	Trace *obs.Tracer
 }
 
 // errCanceled marks units skipped after the first failure.
@@ -124,25 +133,51 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 	}
 	close(taskCh)
 
+	// Metric handles are resolved once here; all of them are nil-safe
+	// no-ops when e.Obs / e.Trace are nil.
+	cCompleted := e.Obs.Counter("sweep", "units_completed")
+	cFailed := e.Obs.Counter("sweep", "units_failed")
+	cSkipped := e.Obs.Counter("sweep", "units_skipped")
+	cEmitted := e.Obs.Counter("sweep", "jobs_emitted")
+	rJob := e.Obs.Running("sweep", "job_seconds")
+	gQueueMax := e.Obs.Gauge("sweep", "queue_depth_max")
+	e.Obs.Gauge("sweep", "workers").Set(int64(workers))
+	e.Obs.Counter("sweep", "units_total").Add(int64(len(tasks)))
+	gQueueMax.SetMax(int64(len(tasks)))
+
 	doneCh := make(chan completion, workers+1)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	// Per-worker duration accumulators, merged after the run: sharded
-	// so the hot path takes no lock.
+	// so the hot path takes no lock. Trace shards are per-worker for
+	// the same reason (Emit is single-goroutine by contract).
 	durs := make([]stats.Running, workers)
+	shards := make([]*obs.Shard, workers)
+	if e.Trace != nil {
+		for w := range shards {
+			shards[w] = e.Trace.Shard(fmt.Sprintf("worker-%d", w))
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for t := range taskCh {
 				if stop.Load() {
+					shards[w].Emit("unit_skipped", jobs[t.job].Units[t.unit].Name, int64(t.job), int64(t.unit))
 					doneCh <- completion{t: t, err: errCanceled}
 					continue
 				}
+				shards[w].Emit("unit_start", jobs[t.job].Units[t.unit].Name, int64(t.job), int64(t.unit))
 				start := time.Now()
 				v, err := jobs[t.job].Units[t.unit].Run()
 				d := time.Since(start)
 				durs[w].Add(d.Seconds())
+				if err != nil {
+					shards[w].Emit("unit_failed", jobs[t.job].Units[t.unit].Name, int64(t.job), d.Microseconds())
+				} else {
+					shards[w].Emit("unit_done", jobs[t.job].Units[t.unit].Name, int64(t.job), d.Microseconds())
+				}
 				doneCh <- completion{t: t, val: v, err: err, dur: d}
 			}
 		}(w)
@@ -172,11 +207,15 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 			}
 			if emit != nil {
 				if err := emit(JobResult{Name: j.Name, Value: v, Units: len(j.Units), Elapsed: elapsed[next]}); err != nil {
-					firstErr = err
+					// Wrapped with the job name just like Assemble
+					// errors, so callers see which job's emit failed.
+					firstErr = fmt.Errorf("%s: %w", j.Name, err)
 					stop.Store(true)
 					return
 				}
 			}
+			cEmitted.Inc()
+			rJob.Add(elapsed[next].Seconds())
 			parts[next] = nil // release partials once assembled
 			next++
 		}
@@ -192,14 +231,27 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 			parts[c.t.job][c.t.unit] = c.val
 			elapsed[c.t.job] += c.dur
 			remaining[c.t.job]--
+			cCompleted.Inc()
 			if e.Progress != nil {
 				fmt.Fprintf(e.Progress, "sweep: [%d/%d] %s (%.2fs)\n",
 					completed, len(tasks), jobs[c.t.job].Units[c.t.unit].Name, c.dur.Seconds())
 			}
 			flush()
 		case errors.Is(c.err, errCanceled):
-			// Skipped after a failure; nothing to record.
+			// Canceled after an earlier failure. The unit still counts
+			// toward [completed/total] — print it, so the counter the
+			// user watches never skips numbers.
+			cSkipped.Inc()
+			if e.Progress != nil {
+				fmt.Fprintf(e.Progress, "sweep: [%d/%d] %s skipped\n",
+					completed, len(tasks), jobs[c.t.job].Units[c.t.unit].Name)
+			}
 		default:
+			cFailed.Inc()
+			if e.Progress != nil {
+				fmt.Fprintf(e.Progress, "sweep: [%d/%d] %s failed: %v\n",
+					completed, len(tasks), jobs[c.t.job].Units[c.t.unit].Name, c.err)
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%s: %w", jobs[c.t.job].Units[c.t.unit].Name, c.err)
 				stop.Store(true)
@@ -207,6 +259,15 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 		}
 	}
 	wg.Wait()
+
+	// Fold the per-worker duration shards into one accumulator for the
+	// summary line and the metrics registry — on failure too, so a
+	// metrics dump of a failed sweep still reports the work done.
+	var all stats.Running
+	for i := range durs {
+		all.Merge(durs[i])
+	}
+	e.Obs.Running("sweep", "unit_seconds").Merge(all)
 
 	if firstErr != nil {
 		return firstErr
@@ -217,10 +278,6 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 	}
 
 	if e.Progress != nil && len(tasks) > 0 {
-		var all stats.Running
-		for i := range durs {
-			all.Merge(durs[i])
-		}
 		fmt.Fprintf(e.Progress,
 			"sweep: %d units on %d workers in %.2fs (unit mean %.2fs, max %.2fs)\n",
 			len(tasks), workers, time.Since(start).Seconds(), all.Mean(), all.Max())

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // slowFirst builds a job whose first unit finishes last under a
@@ -166,13 +168,17 @@ func TestAssembleError(t *testing.T) {
 	}
 }
 
-// TestEmitError: an emit failure stops the sweep and is returned.
+// TestEmitError: an emit failure stops the sweep and is returned,
+// wrapped with the job name exactly like Assemble errors are.
 func TestEmitError(t *testing.T) {
 	stop := errors.New("emit failed")
 	e := &Engine{Workers: 2}
 	err := e.Run([]Job{slowFirst("x", 2)}, func(JobResult) error { return stop })
 	if !errors.Is(err, stop) {
 		t.Fatalf("err = %v, want emit error", err)
+	}
+	if !strings.Contains(err.Error(), "x:") {
+		t.Errorf("emit error %q does not name the job like Assemble errors do", err)
 	}
 }
 
@@ -241,5 +247,91 @@ func TestProgress(t *testing.T) {
 	}
 	if !strings.Contains(lines[3], "3 units on 2 workers") {
 		t.Errorf("summary line %q", lines[3])
+	}
+}
+
+// TestProgressUnderFailure: after a unit fails, the [completed/total]
+// counter keeps counting — the failed unit prints a "failed" line and
+// canceled units print "skipped" lines, so the numbering never skips.
+func TestProgressUnderFailure(t *testing.T) {
+	boom := errors.New("boom")
+	units := []Unit{
+		{Name: "f/fail", Run: func() (interface{}, error) { return nil, boom }},
+	}
+	const trailing = 30
+	for i := 0; i < trailing; i++ {
+		units = append(units, Unit{
+			Name: fmt.Sprintf("f/u%d", i),
+			Run: func() (interface{}, error) {
+				time.Sleep(time.Millisecond)
+				return 0, nil
+			},
+		})
+	}
+	job := Job{Name: "f", Units: units,
+		Assemble: func(parts []interface{}) (interface{}, error) { return nil, nil }}
+
+	var buf bytes.Buffer
+	e := &Engine{Workers: 1, Progress: &buf}
+	if err := e.Run([]Job{job}, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	out := buf.String()
+	total := trailing + 1
+	// Every completion number appears exactly once: no gaps in the
+	// counter even though most units were canceled.
+	for i := 1; i <= total; i++ {
+		marker := fmt.Sprintf("[%d/%d]", i, total)
+		if strings.Count(out, marker) != 1 {
+			t.Errorf("progress counter %s missing or duplicated:\n%s", marker, out)
+		}
+	}
+	if !strings.Contains(out, "f/fail failed: boom") {
+		t.Errorf("no failed line for the failing unit:\n%s", out)
+	}
+	// Cancellation is best-effort, but with 30 slow trailing units on
+	// one worker at least one must be skipped after the stop flag lands.
+	if !strings.Contains(out, "skipped") {
+		t.Errorf("no skipped lines after failure:\n%s", out)
+	}
+}
+
+// TestEngineObs: the engine publishes unit/job accounting into the
+// registry and per-unit events into the tracer.
+func TestEngineObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	e := &Engine{Workers: 2, Obs: reg, Trace: tr}
+	jobs := []Job{slowFirst("a", 3), slowFirst("b", 2)}
+	if err := e.Run(jobs, func(JobResult) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"units_total":     5,
+		"units_completed": 5,
+		"units_failed":    0,
+		"units_skipped":   0,
+		"jobs_emitted":    2,
+	} {
+		if got := reg.Counter("sweep", name).Value(); got != want {
+			t.Errorf("sweep/%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("sweep", "workers").Value(); got != 2 {
+		t.Errorf("workers gauge = %d, want 2", got)
+	}
+	snap := reg.Running("sweep", "unit_seconds").Snapshot()
+	if snap.N() != 5 {
+		t.Errorf("unit_seconds n = %d, want 5", snap.N())
+	}
+	var trace bytes.Buffer
+	if err := tr.Drain(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(trace.String(), "unit_start"); got != 5 {
+		t.Errorf("unit_start events = %d, want 5:\n%s", got, trace.String())
+	}
+	if got := strings.Count(trace.String(), "unit_done"); got != 5 {
+		t.Errorf("unit_done events = %d, want 5:\n%s", got, trace.String())
 	}
 }
