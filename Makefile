@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci vet lint results quick-results results-check clean
+.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci fuzz trace-cache vet lint results quick-results results-check clean
 
 all: build vet test
 
@@ -33,10 +33,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The acceptance benchmarks: the single-pass measurement fast path
-# (Figure 7/8 regeneration) and the multiprocessor SPLASH runs
-# (Figures 13-17), with allocation stats.
+# (Figure 7/8 regeneration, live and trace-replay) and the
+# multiprocessor SPLASH runs (Figures 13-17), with allocation stats.
 bench-figures:
-	$(GO) test -run '^$$' -bench 'Fig[78]$$|Fig1[3-7]' -benchmem -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'Fig[78](Replay)?$$|Fig1[3-7]' -benchmem -benchtime 2x .
 
 # Record the current Fig7/Fig8 numbers as the checked-in baseline.
 bench-baseline:
@@ -48,13 +48,26 @@ bench-baseline:
 # (deterministic). -require keeps the guard honest: the acceptance
 # benchmarks must actually run, so the observability hooks cannot
 # regress them unnoticed by a pattern that matches nothing.
-BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor
+BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig7Replay,BenchmarkFig8Replay,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor
 
 bench-check:
 	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -threshold 0.20 -require $(BENCH_REQUIRED)
 
 bench-check-ci:
 	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -time=false -require $(BENCH_REQUIRED)
+
+# Exercise the trace codec fuzz targets for a minute each (CI runs a
+# 10-second smoke; this is the pre-commit depth).
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReaderNext -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFileRoundTrip -fuzztime $(FUZZTIME)
+
+# Pre-record every workload's reference stream into the local trace
+# cache; later `iramsim -replay $(TRACE_DIR) ...` runs skip the VM.
+TRACE_DIR ?= .trace-cache
+trace-cache:
+	$(GO) run ./cmd/iramsim -record $(TRACE_DIR)
 
 # Regenerate every experiment at full fidelity (~15 serial minutes,
 # spread across all cores by default; see the iramsim -j flag).

@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/experiments"
+	"repro/internal/tracestore"
+	"repro/internal/workload"
 )
 
 func quickOpts() experiments.Options {
@@ -91,6 +93,51 @@ func BenchmarkFig8(b *testing.B) {
 		}
 	}
 	b.ReportMetric(victimGain, "tomcatv_victim_gain_x")
+}
+
+// tracedOpts returns quickOpts with the reference streams served from a
+// pre-populated trace cache, so the benchmark times replay (decode +
+// cache models), not trace generation (VM execution + cache models).
+func tracedOpts(b *testing.B) experiments.Options {
+	b.Helper()
+	store, err := tracestore.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := quickOpts()
+	o.TraceSource = workload.Traced{Store: store, Seed: o.Seed}
+	return o
+}
+
+// BenchmarkFig7Replay is BenchmarkFig7 with recorded traces: the gap to
+// BenchmarkFig7 is the cost of re-executing the workload generators.
+func BenchmarkFig7Replay(b *testing.B) {
+	o := tracedOpts(b)
+	if _, err := experiments.Fig7(o, experiments.NewMeasurementSet(o)); err != nil {
+		b.Fatal(err) // untimed recording pass populates the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		if _, err := experiments.Fig7(o, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Replay is BenchmarkFig8 with recorded traces.
+func BenchmarkFig8Replay(b *testing.B) {
+	o := tracedOpts(b)
+	if _, err := experiments.Fig8(o, experiments.NewMeasurementSet(o)); err != nil {
+		b.Fatal(err) // untimed recording pass populates the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := experiments.NewMeasurementSet(o)
+		if _, err := experiments.Fig8(o, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig11 regenerates Figure 11 (conventional CPI sensitivity).

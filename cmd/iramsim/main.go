@@ -17,6 +17,10 @@
 //	-procs list   processor counts for fig13..fig17 (e.g. 1,2,4,8,16)
 //	-machine f    JSON machine description overriding core.Proposed()
 //	-j N          worker goroutines for the experiment sweep
+//	-trace-dir d  workload trace cache: replay recorded streams, record on miss
+//	-replay d     synonym for -trace-dir (replay emphasis)
+//	-record d     re-record workload traces into d; with no experiments,
+//	              pre-populate every workload's stream and exit
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f on exit
 //	-metrics f    write simulator metrics (JSON) to f after the run
@@ -43,6 +47,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/selftest"
 	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -57,6 +63,9 @@ type cliConfig struct {
 	procs        string
 	machine      string
 	workers      int
+	record       string
+	replay       string
+	traceDir     string
 	cpuprofile   string
 	memprofile   string
 	metrics      string
@@ -73,6 +82,9 @@ func main() {
 	flag.StringVar(&c.procs, "procs", "", "comma-separated processor counts for fig13..fig17")
 	flag.StringVar(&c.machine, "machine", "", "JSON machine description file (overrides the paper's integrated device)")
 	flag.IntVar(&c.workers, "j", runtime.NumCPU(), "worker goroutines for the experiment sweep")
+	flag.StringVar(&c.traceDir, "trace-dir", "", "workload trace cache dir: replay recorded reference streams, record on miss")
+	flag.StringVar(&c.replay, "replay", "", "replay workload traces from this cache dir (synonym for -trace-dir)")
+	flag.StringVar(&c.record, "record", "", "re-record workload traces into this cache dir; with no experiments, pre-populate every workload and exit")
 	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&c.metrics, "metrics", "", "write simulator metrics as JSON to this file after the run")
@@ -80,7 +92,9 @@ func main() {
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar, pprof, and live metrics on this host:port")
 	flag.Parse()
 
-	if flag.NArg() == 0 {
+	// `iramsim -record <dir>` with no experiments is record-all mode:
+	// pre-populate every workload's trace and exit.
+	if flag.NArg() == 0 && c.record == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -146,6 +160,21 @@ func mainErr(c cliConfig) error {
 		opts.Machine = &dev
 	}
 
+	traceDir, err := resolveTraceDir(c)
+	if err != nil {
+		return err
+	}
+	if traceDir != "" {
+		store, err := tracestore.NewStore(traceDir)
+		if err != nil {
+			return err
+		}
+		opts.TraceSource = workload.Traced{Store: store, Seed: opts.Seed, Force: c.record != ""}
+	}
+	if flag.NArg() == 0 {
+		return recordAll(opts, os.Stderr)
+	}
+
 	// Observability is opt-in: with no flag set, opts.Obs and tracer stay
 	// nil and every hook in the simulators is a single pointer check.
 	if c.metrics != "" || c.debugAddr != "" {
@@ -195,6 +224,41 @@ func mainErr(c cliConfig) error {
 		}
 	}
 	return runErr
+}
+
+// recordAll pre-populates the trace cache with every workload's
+// reference stream (record-all mode: `iramsim -record <dir>` with no
+// experiment arguments). -quick and -budget select the recorded budget.
+// resolveTraceDir folds the three cache-directory spellings into one.
+// -trace-dir and -replay replay cached streams (recording on miss);
+// -record always re-records. Replayed and live streams are
+// reference-for-reference identical, so experiment output does not
+// depend on the mode. Naming two different directories is an error
+// rather than a silent precedence rule.
+func resolveTraceDir(c cliConfig) (string, error) {
+	dir := c.traceDir
+	for _, d := range []string{c.replay, c.record} {
+		if d == "" {
+			continue
+		}
+		if dir != "" && dir != d {
+			return "", fmt.Errorf("conflicting trace cache dirs %q and %q (-record/-replay/-trace-dir)", dir, d)
+		}
+		dir = d
+	}
+	return dir, nil
+}
+
+func recordAll(opts experiments.Options, progress io.Writer) error {
+	for _, w := range workload.All() {
+		var counts trace.Counts
+		if _, err := opts.TraceSource.Stream(w, opts.Budget, &counts); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "iramsim: recorded %-12s %10d refs (%d instructions)\n",
+			w.Name, counts.Total(), counts.Ifetches)
+	}
+	return nil
 }
 
 // writeMetrics dumps the registry as indented JSON to path.
@@ -380,6 +444,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: iramsim [flags] <experiment> [...]")
 	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} designspace scoma fabric selftest workloads fig910 all")
 	fmt.Fprintln(os.Stderr, "machine descriptions: -machine examples/machine-32bank.json (see examples/)")
+	fmt.Fprintln(os.Stderr, "trace cache: -trace-dir/-replay/-record <dir> (record-all: iramsim -record <dir>)")
 	flag.PrintDefaults()
 }
 

@@ -12,7 +12,6 @@ import (
 	"repro/internal/stackdist"
 	"repro/internal/sweep"
 	"repro/internal/trace"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -101,11 +100,7 @@ func ablateLineSizeBench(o Options, name string) ([]LineSizeRow, error) {
 			p.Access(r.Addr, r.Kind)
 		}
 	})
-	budget := o.Budget
-	if budget <= 0 {
-		budget = w.Budget
-	}
-	if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
+	if err := o.stream(w, sink); err != nil {
 		return nil, err
 	}
 	rows := make([]LineSizeRow, len(lineSizes))
@@ -226,11 +221,7 @@ func ablateVictimBench(o Options, name string) ([]VictimSizeRow, error) {
 			c.Access(r.Addr, r.Kind)
 		}
 	})
-	budget := o.Budget
-	if budget <= 0 {
-		budget = w.Budget
-	}
-	if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
+	if err := o.stream(w, sink); err != nil {
 		return nil, err
 	}
 	rows := []VictimSizeRow{{
@@ -684,11 +675,7 @@ func ablateJouppiBench(o Options, name string) (JouppiRow, error) {
 		vic.Access(r.Addr, r.Kind)
 		str.Access(r.Addr, r.Kind)
 	})
-	budget := o.Budget
-	if budget <= 0 {
-		budget = w.Budget
-	}
-	if _, err := vm.RunProgram(w.Build(), sink, budget); err != nil {
+	if err := o.stream(w, sink); err != nil {
 		return JouppiRow{}, err
 	}
 	return JouppiRow{

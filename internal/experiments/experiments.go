@@ -20,6 +20,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,12 @@ type Options struct {
 	// DSBanks / DSColumns / DSVictims override the designspace sweep
 	// axes (nil = built-in defaults; see DesignspaceJob).
 	DSBanks, DSColumns, DSVictims []int
+	// TraceSource, when non-nil, supplies every workload's reference
+	// stream instead of live VM execution — the trace record/replay
+	// pipeline behind the iramsim -record/-replay/-trace-dir flags.
+	// Replayed streams are reference-for-reference identical to live
+	// generation, so every experiment's output is unchanged.
+	TraceSource workload.Source
 	// Obs, when non-nil, receives per-workload cache measurements, the
 	// coherence machines' protocol statistics, and mpsim coordinator
 	// accounting (the iramsim -metrics flag). Nil costs one pointer
@@ -55,6 +62,24 @@ func (o Options) Device() core.Device {
 		return *o.Machine
 	}
 	return core.Proposed()
+}
+
+// source returns the workload reference-stream source: the configured
+// trace store pipeline, or live VM execution.
+func (o Options) source() workload.Source {
+	if o.TraceSource != nil {
+		return o.TraceSource
+	}
+	return workload.Live{}
+}
+
+// stream delivers w's reference stream for the options' budget into
+// sink, via the trace store when one is configured. It is the single
+// entry point for every experiment that consumes a raw stream outside
+// a MeasurementSet (the ablations, mattson, and Table 1).
+func (o Options) stream(w workload.Workload, sink trace.Sink) error {
+	_, err := o.source().Stream(w, o.Budget, sink)
+	return err
 }
 
 // Default returns full-fidelity options (paper-scale runs).
@@ -122,10 +147,11 @@ func (s *MeasurementSet) Get(w workload.Workload) (*workload.Measurement, error)
 	s.mu.Unlock()
 	e.once.Do(func() {
 		prop, ref := s.opts.Device(), core.Reference()
+		src := s.opts.source()
 		if s.replay {
-			e.m, e.err = workload.RunReplayDevices(w, s.opts.Budget, prop, ref)
+			e.m, e.err = workload.RunReplayDevicesFrom(w, s.opts.Budget, prop, ref, src)
 		} else {
-			e.m, e.err = workload.RunDevices(w, s.opts.Budget, prop, ref)
+			e.m, e.err = workload.RunDevicesFrom(w, s.opts.Budget, prop, ref, src)
 		}
 		if e.err == nil {
 			// Single-flight makes this the one place a workload's

@@ -9,7 +9,6 @@ import (
 	"repro/internal/report"
 	"repro/internal/stackdist"
 	"repro/internal/sweep"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -363,13 +362,9 @@ func table1Estimate(o Options, h *memsys.Hierarchy) (memsys.RunEstimate, error) 
 	if err != nil {
 		return memsys.RunEstimate{}, err
 	}
-	budget := o.Budget
-	if budget <= 0 {
-		budget = w.Budget
-	}
 	h.Instrument(o.Obs)
 	est := &memsys.Estimator{H: h}
-	if _, err := vm.RunProgram(w.Build(), est, budget); err != nil {
+	if err := o.stream(w, est); err != nil {
 		return memsys.RunEstimate{}, err
 	}
 	return est.Estimate(), nil
@@ -571,11 +566,7 @@ func MattsonJob(o Options) sweep.Job {
 // mattsonRow profiles one workload's reference stream.
 func mattsonRow(o Options, w workload.Workload) (MattsonRow, error) {
 	p := stackdist.NewProfiler(32)
-	budget := o.Budget
-	if budget <= 0 {
-		budget = w.Budget
-	}
-	if _, err := vm.RunProgram(w.Build(), p, budget); err != nil {
+	if err := o.stream(w, p); err != nil {
 		return MattsonRow{}, err
 	}
 	row := MattsonRow{Bench: w.Name, Footprint: p.Footprint(), MissPct: map[int]float64{}}

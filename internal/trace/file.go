@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -12,10 +13,16 @@ import (
 // expensive workload executions can be replayed into many cache
 // configurations without re-running the program.
 //
-// The encoding is a compact delta format. Each record starts with one
-// opcode byte:
+// A file is:
 //
-//	bits 7-6  kind (0 ifetch, 1 load, 2 store)
+//	8-byte magic "iramtrc" + one ASCII version byte ('2')
+//	zero or more reference records
+//	one end-of-trace record
+//
+// The reference encoding is a compact delta format. Each record starts
+// with one opcode byte:
+//
+//	bits 7-6  kind (0 ifetch, 1 load, 2 store, 3 end-of-trace)
 //	bits 5-4  size code (0=1, 1=2, 2=4, 3=8 bytes)
 //	bits 3-0  address mode:
 //	   0      delta == +size of previous same-kind access (no payload)
@@ -25,12 +32,35 @@ import (
 //
 // Sequential streams (the common case: instruction fetches, array
 // sweeps) cost one byte per reference.
+//
+// The end-of-trace record (opcode 0xC0, written by Writer.Close) is
+// followed by the total reference count as an 8-byte little-endian
+// integer, then a CRC-32C of every preceding byte of the file (header
+// and count included), and must be the last bytes of the file. It lets
+// a reader distinguish a complete trace from one truncated at a record
+// boundary — plain EOF before the marker is corruption, not
+// termination — and the checksum catches bit rot that still decodes as
+// a structurally valid stream. Version 1 files (no end marker, no
+// checksum) are not readable by this package.
 
-// fileMagic identifies a trace file.
-var fileMagic = [8]byte{'i', 'r', 'a', 'm', 't', 'r', 'c', '1'}
+// FormatVersion is the trace file format generation. It participates in
+// Store cache keys, so bumping it invalidates every cached trace.
+const FormatVersion = 2
+
+// fileMagic identifies a trace file; the last byte is the version.
+var fileMagic = [8]byte{'i', 'r', 'a', 'm', 't', 'r', 'c', '0' + FormatVersion}
+
+// endMarker is the opcode byte of the end-of-trace record (kind 3,
+// size code 0, address mode 0).
+const endMarker = 0xC0
 
 // ErrBadTrace reports a corrupt or truncated trace file.
 var ErrBadTrace = errors.New("trace: corrupt trace file")
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on the
+// platforms we care about); the checksum seeds from zero at byte 0 of
+// the file.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 var sizeCodes = map[uint8]uint8{1: 0, 2: 1, 4: 2, 8: 3}
 var sizeFromCode = [4]uint8{1, 2, 4, 8}
@@ -41,6 +71,9 @@ type Writer struct {
 	w    *bufio.Writer
 	last [3]uint64 // previous address per kind
 	n    int64
+	crc  uint32  // running CRC-32C of every byte written
+	one  [1]byte // scratch for checksumming single bytes without allocating
+	pay  [8]byte // scratch for payload encoding (a local would escape into write)
 	err  error
 }
 
@@ -50,7 +83,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := bw.Write(fileMagic[:]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{w: bw, crc: crc32.Update(0, crcTable, fileMagic[:])}, nil
 }
 
 // Ref implements Sink. Encoding errors are sticky and surfaced by
@@ -76,27 +109,45 @@ func (t *Writer) Ref(r Ref) {
 
 	delta := int64(r.Addr) - int64(prev)
 	if t.n > 1 && delta == int64(r.Size) {
-		t.err = t.w.WriteByte(head | 0)
+		t.writeByte(head | 0)
 		return
 	}
 	// Choose the shortest signed delta encoding.
 	if nb := signedLen(delta); t.n > 1 && nb <= 8 {
-		if err := t.w.WriteByte(head | uint8(nb)); err != nil {
-			t.err = err
-			return
-		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(delta))
-		_, t.err = t.w.Write(buf[:nb])
+		t.writeByte(head | uint8(nb))
+		binary.LittleEndian.PutUint64(t.pay[:], uint64(delta))
+		t.write(t.pay[:nb])
 		return
 	}
-	if err := t.w.WriteByte(head | 15); err != nil {
-		t.err = err
+	t.writeByte(head | 15)
+	binary.LittleEndian.PutUint64(t.pay[:], r.Addr)
+	t.write(t.pay[:])
+}
+
+// writeByte emits one byte, folding it into the checksum.
+func (t *Writer) writeByte(b byte) {
+	if t.err != nil {
 		return
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], r.Addr)
-	_, t.err = t.w.Write(buf[:])
+	t.one[0] = b
+	t.crc = crc32.Update(t.crc, crcTable, t.one[:])
+	t.err = t.w.WriteByte(b)
+}
+
+// write emits a payload, folding it into the checksum.
+func (t *Writer) write(p []byte) {
+	if t.err != nil {
+		return
+	}
+	t.crc = crc32.Update(t.crc, crcTable, p)
+	_, t.err = t.w.Write(p)
+}
+
+// Refs implements BatchSink.
+func (t *Writer) Refs(rs []Ref) {
+	for i := range rs {
+		t.Ref(rs[i])
+	}
 }
 
 // signedLen returns the minimum bytes needed to hold v as a
@@ -119,8 +170,20 @@ func signedLen(v int64) int {
 // Count returns the number of references written.
 func (t *Writer) Count() int64 { return t.n }
 
-// Close flushes the stream and returns any deferred encoding error.
+// Close writes the end-of-trace record, flushes the stream, and
+// returns any deferred encoding error. A trace without the end record
+// is corrupt by definition; abandon the output on error.
 func (t *Writer) Close() error {
+	t.writeByte(endMarker)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.n))
+	t.write(buf[:])
+	// The checksum itself is excluded from the checksummed range.
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], t.crc)
+	if t.err == nil {
+		_, t.err = t.w.Write(sum[:])
+	}
 	if t.err != nil {
 		return t.err
 	}
@@ -132,6 +195,11 @@ type Reader struct {
 	r    *bufio.Reader
 	last [3]uint64
 	n    int64
+	off  int64   // bytes consumed, including the header
+	crc  uint32  // running CRC-32C of every byte consumed
+	one  [1]byte // scratch for checksumming single bytes without allocating
+	pay  [8]byte // scratch for payload decoding (a local would escape into fill)
+	done bool    // end-of-trace record seen and verified
 }
 
 // NewReader validates the header and returns a reader.
@@ -142,23 +210,44 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("%w: missing header", ErrBadTrace)
 	}
 	if magic != fileMagic {
+		if [7]byte(magic[:7]) == [7]byte(fileMagic[:7]) {
+			return nil, fmt.Errorf("%w: unsupported format version %c (want %c)",
+				ErrBadTrace, magic[7], fileMagic[7])
+		}
 		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, off: int64(len(magic)), crc: crc32.Update(0, crcTable, magic[:])}, nil
 }
 
-// Next returns the next reference, or io.EOF at the end of the trace.
+// Offset returns the number of bytes consumed so far (header included):
+// the file offset at which the next record starts, or at which decoding
+// stopped after an error.
+func (t *Reader) Offset() int64 { return t.off }
+
+// Next returns the next reference. At a verified end-of-trace record it
+// returns io.EOF; every other end of input is corruption. In particular
+// a partial trailing record — or input that stops at a record boundary
+// without the end marker — returns an error wrapping both ErrBadTrace
+// and io.ErrUnexpectedEOF, carrying the byte offset of the failure, and
+// never a bare io.EOF.
 func (t *Reader) Next() (Ref, error) {
+	if t.done {
+		return Ref{}, io.EOF
+	}
 	head, err := t.r.ReadByte()
 	if err == io.EOF {
-		return Ref{}, io.EOF
+		return Ref{}, fmt.Errorf("%w: missing end-of-trace record at offset %d: %w",
+			ErrBadTrace, t.off, io.ErrUnexpectedEOF)
 	}
 	if err != nil {
 		return Ref{}, err
 	}
+	t.off++
+	t.one[0] = head
+	t.crc = crc32.Update(t.crc, crcTable, t.one[:])
 	kind := Kind(head >> 6)
 	if kind > Store {
-		return Ref{}, fmt.Errorf("%w: kind %d", ErrBadTrace, kind)
+		return t.finish(head)
 	}
 	size := sizeFromCode[(head>>4)&3]
 	mode := head & 0x0f
@@ -168,42 +257,123 @@ func (t *Reader) Next() (Ref, error) {
 	case mode == 0:
 		addr = t.last[kind] + uint64(size)
 	case mode >= 1 && mode <= 8:
-		var buf [8]byte
-		if _, err := io.ReadFull(t.r, buf[:mode]); err != nil {
-			return Ref{}, fmt.Errorf("%w: truncated delta", ErrBadTrace)
+		t.pay = [8]byte{}
+		if err := t.fill(t.pay[:mode], "delta"); err != nil {
+			return Ref{}, err
 		}
 		// Sign-extend the little-endian delta.
-		v := int64(binary.LittleEndian.Uint64(buf[:]))
+		v := int64(binary.LittleEndian.Uint64(t.pay[:]))
 		shift := uint(64 - 8*mode)
 		v = v << shift >> shift
 		addr = uint64(int64(t.last[kind]) + v)
 	case mode == 15:
-		var buf [8]byte
-		if _, err := io.ReadFull(t.r, buf[:]); err != nil {
-			return Ref{}, fmt.Errorf("%w: truncated address", ErrBadTrace)
+		if err := t.fill(t.pay[:], "address"); err != nil {
+			return Ref{}, err
 		}
-		addr = binary.LittleEndian.Uint64(buf[:])
+		addr = binary.LittleEndian.Uint64(t.pay[:])
 	default:
-		return Ref{}, fmt.Errorf("%w: address mode %d", ErrBadTrace, mode)
+		return Ref{}, fmt.Errorf("%w: address mode %d at offset %d", ErrBadTrace, mode, t.off-1)
 	}
 	t.last[kind] = addr
 	t.n++
 	return Ref{Kind: kind, Addr: addr, Size: size}, nil
 }
 
+// fill reads a record payload, converting any short read into the
+// truncation error contract (ErrBadTrace + io.ErrUnexpectedEOF + byte
+// offset).
+func (t *Reader) fill(buf []byte, what string) error {
+	n, err := io.ReadFull(t.r, buf)
+	t.off += int64(n)
+	t.crc = crc32.Update(t.crc, crcTable, buf[:n])
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: truncated %s at offset %d: %w",
+				ErrBadTrace, what, t.off, io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	return nil
+}
+
+// finish validates the end-of-trace record: the count must match the
+// references decoded and nothing may follow it.
+func (t *Reader) finish(head byte) (Ref, error) {
+	if head != endMarker {
+		return Ref{}, fmt.Errorf("%w: bad end-of-trace opcode 0x%02x at offset %d",
+			ErrBadTrace, head, t.off-1)
+	}
+	var buf [8]byte
+	if err := t.fill(buf[:], "end-of-trace count"); err != nil {
+		return Ref{}, err
+	}
+	if count := int64(binary.LittleEndian.Uint64(buf[:])); count != t.n {
+		return Ref{}, fmt.Errorf("%w: end-of-trace count %d, decoded %d records", ErrBadTrace, count, t.n)
+	}
+	want := t.crc // everything up to and including the count field
+	var sum [4]byte
+	if err := t.fill(sum[:], "checksum"); err != nil {
+		return Ref{}, err
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return Ref{}, fmt.Errorf("%w: checksum %08x, computed %08x", ErrBadTrace, got, want)
+	}
+	if _, err := t.r.ReadByte(); err == nil {
+		return Ref{}, fmt.Errorf("%w: trailing data after end-of-trace record at offset %d", ErrBadTrace, t.off)
+	} else if err != io.EOF {
+		return Ref{}, err
+	}
+	t.done = true
+	return Ref{}, io.EOF
+}
+
+// BatchLen is the default replay staging-buffer length, matched to the
+// VM run loop's batch size so replayed and live streams hit BatchSink
+// consumers with the same slice granularity.
+const BatchLen = 256
+
+// Refs decodes up to len(buf) references into buf, returning how many
+// were filled. It returns io.EOF (possibly with n > 0) at a verified
+// end of trace, and otherwise exactly the errors Next returns.
+func (t *Reader) Refs(buf []Ref) (int, error) {
+	for i := range buf {
+		r, err := t.Next()
+		if err != nil {
+			return i, err
+		}
+		buf[i] = r
+	}
+	return len(buf), nil
+}
+
 // Replay streams the remaining references into a sink, returning the
-// count delivered.
+// count delivered. Decode errors carry the byte offset at which the
+// trace went bad (see Next).
 func (t *Reader) Replay(sink Sink) (int64, error) {
+	return t.ReplayBatch(sink, nil)
+}
+
+// ReplayBatch is Replay with an explicit staging buffer: references are
+// decoded into buf and handed to the sink in slices via the BatchSink
+// fast path where the sink supports it, so replay costs zero
+// allocations per reference. A nil or empty buf allocates a BatchLen
+// buffer.
+func (t *Reader) ReplayBatch(sink Sink, buf []Ref) (int64, error) {
+	if len(buf) == 0 {
+		buf = make([]Ref, BatchLen)
+	}
 	var n int64
 	for {
-		r, err := t.Next()
+		m, err := t.Refs(buf)
+		if m > 0 {
+			EmitAll(sink, buf[:m])
+			n += int64(m)
+		}
 		if err == io.EOF {
 			return n, nil
 		}
 		if err != nil {
 			return n, err
 		}
-		sink.Ref(r)
-		n++
 	}
 }

@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -70,7 +73,10 @@ func TestFileCompactness(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if buf.Len() > 10000+8+16 {
+	// Allowance: 8-byte header, one absolute first record, 13-byte
+	// end-of-trace record (opcode, count, CRC), 1 byte per sequential
+	// reference.
+	if buf.Len() > 10000+8+16+13 {
 		t.Errorf("sequential trace = %d bytes for 10000 refs, want ~1 byte/ref", buf.Len())
 	}
 }
@@ -120,20 +126,134 @@ func TestFileRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestFileTruncated(t *testing.T) {
+// encode builds a complete trace file from refs.
+func encode(t *testing.T, refs []Ref) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	w, _ := NewWriter(&buf)
-	w.Ref(Ref{Load, 0x123456789a, 8})
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		w.Ref(r)
+	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	cut := buf.Bytes()[:buf.Len()-3]
+	return buf.Bytes()
+}
+
+// drain reads refs until the first error, which it returns.
+func drain(t *testing.T, data []byte) (int, error) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestFileTruncated pins the truncation error contract: any prefix of a
+// valid trace that cuts a record — or stops before the end-of-trace
+// record, even at a record boundary — must surface an error wrapping
+// both ErrBadTrace and io.ErrUnexpectedEOF, never a silent io.EOF.
+func TestFileTruncated(t *testing.T) {
+	full := encode(t, []Ref{
+		{Load, 0x123456789a, 8}, // absolute: 9 bytes
+		{Load, 0x12345678a2, 8}, // sequential: 1 byte
+		{Store, 0x77, 4},        // absolute
+	})
+	for cut := len(full) - 1; cut >= 8; cut-- {
+		n, err := drain(t, full[:cut])
+		if err == io.EOF {
+			t.Fatalf("cut at %d bytes: silent io.EOF after %d refs", cut, n)
+		}
+		if !errors.Is(err, ErrBadTrace) || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d bytes: err %v, want ErrBadTrace wrapping io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if n, err := drain(t, full); err != io.EOF || n != 3 {
+		t.Fatalf("full trace: n=%d err=%v, want 3 refs and io.EOF", n, err)
+	}
+}
+
+// TestReplayTruncationOffset locks the byte offset carried by the
+// truncation error Replay surfaces.
+func TestReplayTruncationOffset(t *testing.T) {
+	full := encode(t, []Ref{{Load, 0x123456789a, 8}, {Load, 0x9000, 2}})
+	// Cut into the second record's delta payload: header(8) +
+	// absolute(9) + head byte + part of the delta.
+	cut := full[:8+9+1+2]
 	r, err := NewReader(bytes.NewReader(cut))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Next(); err == nil {
-		t.Error("truncated record accepted")
+	var c Counts
+	n, err := r.Replay(&c)
+	if n != 1 {
+		t.Fatalf("replayed %d refs before truncation, want 1", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err %v, want io.ErrUnexpectedEOF", err)
+	}
+	if want := fmt.Sprintf("offset %d", len(cut)); !strings.Contains(err.Error(), want) {
+		t.Errorf("err %q does not carry the failure offset (%s)", err, want)
+	}
+	if r.Offset() != int64(len(cut)) {
+		t.Errorf("Offset() = %d, want %d", r.Offset(), len(cut))
+	}
+}
+
+// TestFileCountMismatch corrupts the end-of-trace count.
+func TestFileCountMismatch(t *testing.T) {
+	full := encode(t, []Ref{{Load, 0x40, 4}, {Load, 0x44, 4}})
+	bad := bytes.Clone(full)
+	bad[len(bad)-12]++ // low byte of the count (followed by the 4-byte CRC)
+	if _, err := drain(t, bad); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("count mismatch: err %v, want ErrBadTrace", err)
+	}
+}
+
+// TestFileChecksumMismatch pins the integrity contract: a flipped bit
+// that still decodes as a structurally valid stream — right kind, right
+// count — is caught by the CRC-32C in the end-of-trace record.
+func TestFileChecksumMismatch(t *testing.T) {
+	full := encode(t, []Ref{{Load, 0x123456789a, 8}, {Ifetch, 0x4000, 4}})
+	// Byte 12 sits inside the first record's absolute address payload:
+	// flipping it yields a different but perfectly decodable reference.
+	body := bytes.Clone(full)
+	body[12] ^= 0x40
+	if _, err := drain(t, body); !errors.Is(err, ErrBadTrace) || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("payload bitflip: err %v, want ErrBadTrace naming the checksum", err)
+	}
+	// A corrupted checksum field itself is equally fatal.
+	tail := bytes.Clone(full)
+	tail[len(tail)-4] ^= 0x01
+	if _, err := drain(t, tail); !errors.Is(err, ErrBadTrace) || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt checksum: err %v, want ErrBadTrace naming the checksum", err)
+	}
+}
+
+// TestFileTrailingGarbage rejects bytes after the end-of-trace record.
+func TestFileTrailingGarbage(t *testing.T) {
+	full := encode(t, []Ref{{Ifetch, 0x1000, 4}})
+	if _, err := drain(t, append(bytes.Clone(full), 0x00)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("trailing garbage: err %v, want ErrBadTrace", err)
+	}
+}
+
+// TestFileRejectsOldVersion pins the version check: a v1 header (no
+// end-of-trace record existed in that format) is refused outright.
+func TestFileRejectsOldVersion(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("iramtrc1")))
+	if !errors.Is(err, ErrBadTrace) || !strings.Contains(err.Error(), "version") {
+		t.Errorf("v1 header: err %v, want ErrBadTrace naming the version", err)
 	}
 }
 

@@ -1,0 +1,82 @@
+//go:build ignore
+
+// Gen regenerates the seed traces for the fuzz corpus:
+//
+//	go run gen.go
+//
+// from this directory. Each seed is a small but complete trace
+// exercising a different encoder regime (sequential runs, mixed-kind
+// delta traffic, absolute jumps over the full 64-bit space).
+package main
+
+import (
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	write("seq.trc", sequential())
+	write("mixed.trc", mixed())
+	write("jumps.trc", jumps())
+}
+
+func write(path string, refs []trace.Ref) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Refs(refs)
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d refs", path, len(refs))
+}
+
+// sequential is the common case: straight-line ifetches.
+func sequential() []trace.Ref {
+	refs := make([]trace.Ref, 200)
+	for i := range refs {
+		refs[i] = trace.Ref{Kind: trace.Ifetch, Addr: 0x1000 + uint64(i)*4, Size: 4}
+	}
+	return refs
+}
+
+// mixed interleaves fetches with strided loads and stores.
+func mixed() []trace.Ref {
+	var refs []trace.Ref
+	for i := 0; i < 64; i++ {
+		refs = append(refs,
+			trace.Ref{Kind: trace.Ifetch, Addr: 0x2000 + uint64(i)*4, Size: 4},
+			trace.Ref{Kind: trace.Load, Addr: 0x80000 + uint64(i)*32, Size: 8},
+		)
+		if i%4 == 0 {
+			refs = append(refs, trace.Ref{Kind: trace.Store, Addr: 0x90000 + uint64(i)*8, Size: 4})
+		}
+	}
+	return refs
+}
+
+// jumps hits every delta width and the absolute-address fallback.
+func jumps() []trace.Ref {
+	rng := rand.New(rand.NewSource(1))
+	sizes := []uint8{1, 2, 4, 8}
+	refs := make([]trace.Ref, 100)
+	for i := range refs {
+		refs[i] = trace.Ref{
+			Kind: trace.Kind(rng.Intn(3)),
+			Addr: rng.Uint64() >> uint(rng.Intn(64)),
+			Size: sizes[rng.Intn(len(sizes))],
+		}
+	}
+	return refs
+}

@@ -1,0 +1,229 @@
+// Package tracestore caches recorded reference streams on disk so a
+// workload is executed once and replayed into every subsequent
+// measurement (ROADMAP item 3: generate once, replay everywhere).
+package tracestore
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Store is an on-disk cache of recorded reference streams: generate a
+// workload's trace once, replay it into every subsequent measurement.
+// Entries are content-addressed by Key — (workload name, instruction
+// budget, seed, format version) — so a workload change that alters any
+// key component, or a format bump, misses cleanly instead of replaying
+// a stale stream.
+//
+// Writes commit by atomic rename: a recording streams into a unique
+// temp file in the cache directory and only an error-free, fully
+// flushed file is renamed onto the final path. Concurrent recorders
+// racing on one key each produce a complete file and the last rename
+// wins; readers only ever observe absent or complete entries, never
+// partial ones.
+//
+// Replays verify the entry (full decode, end-of-trace record, count
+// cross-check) before any reference reaches the caller's sink, so a
+// corrupt or truncated entry is re-recorded rather than trusted — and
+// never pollutes a measurement. Verification results are memoised per
+// path for the life of the Store.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	verified map[string]bool
+}
+
+// ErrMiss reports that a store has no valid entry for a key.
+var ErrMiss = errors.New("trace: store miss")
+
+// NewStore opens (creating if needed) a trace cache directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("trace: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: store: %w", err)
+	}
+	return &Store{dir: dir, verified: make(map[string]bool)}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key identifies one recorded stream. Version selects the file format
+// generation; leave it zero for the current trace.FormatVersion.
+type Key struct {
+	Workload string
+	Budget   int64
+	Seed     int64
+	Version  int
+}
+
+func (k Key) normalized() Key {
+	if k.Version == 0 {
+		k.Version = trace.FormatVersion
+	}
+	return k
+}
+
+// Path returns the file path an entry for k lives at (whether or not
+// it exists). The name embeds every key component plus a hash of the
+// canonical key string, so humans can read the cache directory and
+// collisions cannot alias two keys.
+func (s *Store) Path(k Key) string {
+	k = k.normalized()
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d", k.Workload, k.Budget, k.Seed, k.Version)))
+	name := fmt.Sprintf("%s-b%d-s%d-v%d-%x.trc",
+		sanitize(k.Workload), k.Budget, k.Seed, k.Version, sum[:6])
+	return filepath.Join(s.dir, name)
+}
+
+// sanitize maps a workload name onto the filename-safe alphabet.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Record generates the stream for k via gen and atomically installs it
+// in the cache, delivering every reference to sink as it is produced
+// (pass trace.Discard to only populate the cache). It returns the tally of
+// references recorded. An existing entry is replaced.
+func (s *Store) Record(k Key, gen func(trace.Sink) error, sink trace.Sink) (trace.Counts, error) {
+	k = k.normalized()
+	if k.Version != trace.FormatVersion {
+		return trace.Counts{}, fmt.Errorf("trace: store: cannot record format version %d (writer is version %d)",
+			k.Version, trace.FormatVersion)
+	}
+	path := s.Path(k)
+	tmp, err := os.CreateTemp(s.dir, ".rec-*.tmp")
+	if err != nil {
+		return trace.Counts{}, fmt.Errorf("trace: store: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w, err := trace.NewWriter(tmp)
+	if err != nil {
+		return trace.Counts{}, fmt.Errorf("trace: store: %w", err)
+	}
+	var counts trace.Counts
+	if err := gen(trace.Tee{w, &counts, sink}); err != nil {
+		return counts, err
+	}
+	if err := w.Close(); err != nil {
+		return counts, fmt.Errorf("trace: store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return counts, fmt.Errorf("trace: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return counts, fmt.Errorf("trace: store: %w", err)
+	}
+	// CreateTemp's 0600 would make a shared cache dir unreadable for
+	// other users; traces are world-readable artifacts.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return counts, fmt.Errorf("trace: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return counts, fmt.Errorf("trace: store: %w", err)
+	}
+	tmp = nil // committed; nothing to clean up
+	s.mu.Lock()
+	s.verified[path] = true
+	s.mu.Unlock()
+	return counts, nil
+}
+
+// ReplayTo replays the cached entry for k into sink. A missing entry
+// returns ErrMiss; a corrupt or truncated one returns ErrMiss wrapping
+// the decode error, in both cases before sink sees a single reference.
+func (s *Store) ReplayTo(k Key, sink trace.Sink) (trace.Counts, error) {
+	path := s.Path(k)
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Counts{}, fmt.Errorf("%w: %s", ErrMiss, k.normalized().Workload)
+	}
+	defer f.Close()
+
+	// Verify the whole file before the first reference reaches sink:
+	// scan once against trace.Discard (memoised per path), then rewind and
+	// replay for real. The held descriptor pins the verified bytes even
+	// if a concurrent recorder renames a new file over the path.
+	s.mu.Lock()
+	ok := s.verified[path]
+	s.mu.Unlock()
+	if !ok {
+		if err := verify(f); err != nil {
+			return trace.Counts{}, fmt.Errorf("%w: invalid entry %s: %w", ErrMiss, filepath.Base(path), err)
+		}
+		s.mu.Lock()
+		s.verified[path] = true
+		s.mu.Unlock()
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return trace.Counts{}, fmt.Errorf("trace: store: %w", err)
+		}
+	}
+
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return trace.Counts{}, fmt.Errorf("trace: store: %s: %w", filepath.Base(path), err)
+	}
+	var counts trace.Counts
+	if _, err := r.ReplayBatch(trace.Tee{&counts, sink}, nil); err != nil {
+		return counts, fmt.Errorf("trace: store: %s: %w", filepath.Base(path), err)
+	}
+	return counts, nil
+}
+
+// verify decodes f end to end, checking the end-of-trace record.
+func verify(f *os.File) error {
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	_, err = r.ReplayBatch(trace.Discard, nil)
+	return err
+}
+
+// Fetch delivers the stream for k into sink: from the cache when a
+// valid entry exists, otherwise by generating via gen while recording
+// (one pass — gen's output is teed into both the cache file and sink).
+// hit reports whether the cache served the stream.
+func (s *Store) Fetch(k Key, gen func(trace.Sink) error, sink trace.Sink) (counts trace.Counts, hit bool, err error) {
+	counts, rerr := s.ReplayTo(k, sink)
+	if rerr == nil {
+		return counts, true, nil
+	}
+	if !errors.Is(rerr, ErrMiss) {
+		// The replay failed after references reached sink (e.g. the
+		// file vanished mid-read); regenerating into the same sink
+		// would double-count, so surface the error instead.
+		return counts, false, rerr
+	}
+	s.mu.Lock()
+	delete(s.verified, s.Path(k))
+	s.mu.Unlock()
+	counts, err = s.Record(k, gen, sink)
+	return counts, false, err
+}

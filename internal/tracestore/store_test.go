@@ -1,0 +1,264 @@
+package tracestore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// testStream writes n deterministic references (mixed kinds, strided
+// addresses) into sink.
+func testStream(n int) func(trace.Sink) error {
+	return func(sink trace.Sink) error {
+		for i := 0; i < n; i++ {
+			sink.Ref(trace.Ref{Kind: trace.Ifetch, Addr: 0x1000 + uint64(i)*4, Size: 4})
+			if i%3 == 0 {
+				sink.Ref(trace.Ref{Kind: trace.Load, Addr: 0x90000 + uint64(i)*32, Size: 8})
+			}
+			if i%7 == 0 {
+				sink.Ref(trace.Ref{Kind: trace.Store, Addr: 0xA0000 + uint64(i)*8, Size: 4})
+			}
+		}
+		return nil
+	}
+}
+
+// collect gathers a replayed stream for comparison.
+type collect struct{ refs []trace.Ref }
+
+func (c *collect) Ref(r trace.Ref) { c.refs = append(c.refs, r) }
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRecordReplay(t *testing.T) {
+	s := newStore(t)
+	k := Key{Workload: "099.go", Budget: 1000, Seed: 1}
+
+	var live collect
+	rec, err := s.Record(k, testStream(1000), &live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep collect
+	counts, err := s.ReplayTo(k, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts != rec {
+		t.Errorf("replay counts %+v != recorded %+v", counts, rec)
+	}
+	if len(rep.refs) != len(live.refs) {
+		t.Fatalf("replayed %d refs, recorded %d", len(rep.refs), len(live.refs))
+	}
+	for i := range live.refs {
+		if rep.refs[i] != live.refs[i] {
+			t.Fatalf("ref %d: replayed %+v, recorded %+v", i, rep.refs[i], live.refs[i])
+		}
+	}
+}
+
+func TestStoreMiss(t *testing.T) {
+	s := newStore(t)
+	_, err := s.ReplayTo(Key{Workload: "absent", Budget: 1}, trace.Discard)
+	if !errors.Is(err, ErrMiss) {
+		t.Errorf("missing entry: err %v, want ErrMiss", err)
+	}
+}
+
+// TestStoreKeyComponents verifies each key component (and the format
+// version in particular) addresses a distinct entry: a bumped version
+// misses rather than replaying a stale stream.
+func TestStoreKeyComponents(t *testing.T) {
+	s := newStore(t)
+	base := Key{Workload: "w", Budget: 100, Seed: 1}
+	if _, err := s.Record(base, testStream(100), trace.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for name, k := range map[string]Key{
+		"workload": {Workload: "w2", Budget: 100, Seed: 1},
+		"budget":   {Workload: "w", Budget: 101, Seed: 1},
+		"seed":     {Workload: "w", Budget: 100, Seed: 2},
+		"version":  {Workload: "w", Budget: 100, Seed: 1, Version: trace.FormatVersion + 1},
+	} {
+		if _, err := s.ReplayTo(k, trace.Discard); !errors.Is(err, ErrMiss) {
+			t.Errorf("%s changed: err %v, want ErrMiss", name, err)
+		}
+	}
+	if _, err := s.ReplayTo(base, trace.Discard); err != nil {
+		t.Errorf("unchanged key: %v", err)
+	}
+	// Recording an entry for a format this writer cannot produce is
+	// refused rather than silently written as the current version.
+	legacy := Key{Workload: "w", Budget: 100, Seed: 1, Version: trace.FormatVersion + 1}
+	if _, err := s.Record(legacy, testStream(1), trace.Discard); err == nil {
+		t.Error("recording a foreign format version was accepted")
+	}
+}
+
+// TestStoreConcurrentRecord races recorders on one key: every reader
+// afterwards sees exactly one complete file, and no temp files leak.
+// Run under -race (the CI race job covers this package).
+func TestStoreConcurrentRecord(t *testing.T) {
+	s := newStore(t)
+	k := Key{Workload: "race", Budget: 5000, Seed: 1}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Record(k, testStream(5000), trace.Discard)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("recorder %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("want exactly one cache file, got %v", files)
+	}
+	want, err := s.Record(k, testStream(5000), trace.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReplayTo(k, trace.Discard)
+	if err != nil {
+		t.Fatalf("replay after race: %v", err)
+	}
+	if got != want {
+		t.Errorf("replay counts %+v, want %+v", got, want)
+	}
+}
+
+// TestStoreCorruptionRerecords covers the distrust contract: a
+// truncated or bit-flipped entry is detected before any reference
+// reaches the sink, and Fetch re-records it instead of trusting it.
+func TestStoreCorruptionRerecords(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-5] },
+		"bitflip":   func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b },
+		"empty":     func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			s := newStore(t)
+			k := Key{Workload: "c", Budget: 2000, Seed: 1}
+			want, err := s.Record(k, testStream(2000), trace.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := s.Path(k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// A fresh store has no memoised verification for the path.
+			s2, err := NewStore(s.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s2.ReplayTo(k, trace.Discard); !errors.Is(err, ErrMiss) {
+				t.Fatalf("corrupt entry: err %v, want ErrMiss", err)
+			}
+			var sink collect
+			counts, hit, err := s2.Fetch(k, testStream(2000), &sink)
+			if err != nil {
+				t.Fatalf("Fetch over corrupt entry: %v", err)
+			}
+			if hit {
+				t.Error("corrupt entry reported as cache hit")
+			}
+			if counts != want {
+				t.Errorf("re-recorded counts %+v, want %+v", counts, want)
+			}
+			if int64(len(sink.refs)) != want.Total() {
+				t.Errorf("sink saw %d refs during re-record, want %d", len(sink.refs), want.Total())
+			}
+			// The re-recorded entry is valid again.
+			if got, err := s2.ReplayTo(k, trace.Discard); err != nil || got != want {
+				t.Errorf("replay after re-record: counts %+v err %v", got, err)
+			}
+		})
+	}
+}
+
+func TestStoreFetchHitAndMiss(t *testing.T) {
+	s := newStore(t)
+	k := Key{Workload: "f", Budget: 300, Seed: 1}
+	gen := testStream(300)
+	counts1, hit, err := s.Fetch(k, gen, trace.Discard)
+	if err != nil || hit {
+		t.Fatalf("first fetch: hit=%v err=%v, want miss", hit, err)
+	}
+	counts2, hit, err := s.Fetch(k, gen, trace.Discard)
+	if err != nil || !hit {
+		t.Fatalf("second fetch: hit=%v err=%v, want hit", hit, err)
+	}
+	if counts1 != counts2 {
+		t.Errorf("fetch counts diverge: %+v vs %+v", counts1, counts2)
+	}
+}
+
+// TestStorePathShape pins the human-readable cache layout documented in
+// EXPERIMENTS.md.
+func TestStorePathShape(t *testing.T) {
+	s := newStore(t)
+	p := filepath.Base(s.Path(Key{Workload: "101.tomcatv", Budget: 2_000_000, Seed: 1}))
+	if !strings.HasPrefix(p, "101.tomcatv-b2000000-s1-v2-") || !strings.HasSuffix(p, ".trc") {
+		t.Errorf("cache filename %q does not follow <name>-b<budget>-s<seed>-v<version>-<hash>.trc", p)
+	}
+	odd := filepath.Base(s.Path(Key{Workload: "a/b c", Budget: 1}))
+	if strings.ContainsAny(odd, "/ ") {
+		t.Errorf("unsafe filename %q", odd)
+	}
+}
+
+// TestStoreGenError verifies a failing generator never installs an
+// entry.
+func TestStoreGenError(t *testing.T) {
+	s := newStore(t)
+	k := Key{Workload: "boom", Budget: 10}
+	genErr := errors.New("vm exploded")
+	_, err := s.Record(k, func(sink trace.Sink) error {
+		sink.Ref(trace.Ref{Kind: trace.Ifetch, Addr: 4096, Size: 4})
+		return genErr
+	}, trace.Discard)
+	if !errors.Is(err, genErr) {
+		t.Fatalf("err %v, want the generator's", err)
+	}
+	if _, err := os.Stat(s.Path(k)); !os.IsNotExist(err) {
+		t.Error("failed recording left a cache entry behind")
+	}
+	entries, _ := os.ReadDir(s.Dir())
+	if len(entries) != 0 {
+		t.Errorf("failed recording left files: %v", entries)
+	}
+}

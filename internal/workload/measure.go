@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/stackdist"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/vm"
 )
 
@@ -396,6 +397,80 @@ func (cs *ReplayCacheSet) L2Stats() cache.Stats {
 	return cs.L2.Stats()
 }
 
+// Source produces a workload's reference stream. The two
+// implementations are Live (build the program and execute it on the
+// functional simulator — the default) and Traced (replay a recorded
+// stream from a tracestore.Store, recording it on first use). Every
+// measurement path is written against this interface, so swapping the
+// expensive generator for a cached trace is invisible to the cache
+// models: both sources deliver byte-for-byte the same stream in the
+// same batch granularity.
+type Source interface {
+	// Stream delivers the workload's reference stream for the given
+	// instruction budget (<= 0 means the workload's default) into sink,
+	// returning the number of instructions executed.
+	Stream(w Workload, budget int64, sink trace.Sink) (int64, error)
+}
+
+// Live executes the workload program on the VM: the generate-every-time
+// path.
+type Live struct{}
+
+// Stream implements Source.
+func (Live) Stream(w Workload, budget int64, sink trace.Sink) (int64, error) {
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	cpu, err := vm.RunProgram(w.Build(), sink, budget)
+	if err != nil {
+		return 0, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return cpu.Instructions, nil
+}
+
+// Traced serves reference streams from a tracestore.Store: a cached trace
+// replays (allocation-free, no VM execution); a missing or corrupt
+// entry is generated live and recorded in the same pass, so later runs
+// replay. With Force set every stream re-records, refreshing the cache.
+type Traced struct {
+	Store *tracestore.Store
+	// Seed participates in the cache key alongside the workload name and
+	// budget (workload generation is deterministic, but the key is
+	// deliberately conservative).
+	Seed int64
+	// Force re-records even when a valid entry exists (iramsim -record).
+	Force bool
+}
+
+// Stream implements Source. The instruction count equals the stream's
+// ifetch tally: the VM emits exactly one ifetch per retired
+// instruction, so a replayed measurement reports the same Instr a live
+// one would.
+func (t Traced) Stream(w Workload, budget int64, sink trace.Sink) (int64, error) {
+	if budget <= 0 {
+		budget = w.Budget
+	}
+	k := tracestore.Key{Workload: w.Name, Budget: budget, Seed: t.Seed}
+	gen := func(s trace.Sink) error {
+		_, err := vm.RunProgram(w.Build(), s, budget)
+		if err != nil {
+			return fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		return nil
+	}
+	var counts trace.Counts
+	var err error
+	if t.Force {
+		counts, err = t.Store.Record(k, gen, sink)
+	} else {
+		counts, _, err = t.Store.Fetch(k, gen, sink)
+	}
+	if err != nil {
+		return counts.Ifetches, err
+	}
+	return counts.Ifetches, nil
+}
+
 // Measurement is the distilled result of one workload run.
 type Measurement struct {
 	Workload Workload
@@ -407,37 +482,44 @@ type Measurement struct {
 // means the workload's own default) and measures every cache model via
 // the single-pass profiled path.
 func Run(w Workload, budget int64) (*Measurement, error) {
-	return runWith(w, budget, NewCacheSet())
+	return runWith(w, budget, NewCacheSet(), Live{})
 }
 
 // RunDevices is Run against an explicit device pair (the -machine path
 // and the designspace sweep).
 func RunDevices(w Workload, budget int64, prop, ref core.Device) (*Measurement, error) {
-	return runWith(w, budget, NewCacheSetFor(prop, ref))
+	return runWith(w, budget, NewCacheSetFor(prop, ref), Live{})
 }
 
-// RunReplay is Run on the per-configuration replay path. The two paths
-// produce identical statistics; replay exists as the oracle for tests
+// RunDevicesFrom is RunDevices with the reference stream drawn from an
+// explicit Source (the trace record/replay path).
+func RunDevicesFrom(w Workload, budget int64, prop, ref core.Device, src Source) (*Measurement, error) {
+	return runWith(w, budget, NewCacheSetFor(prop, ref), src)
+}
+
+// RunReplay is Run on the per-configuration cache-replay path. The two
+// paths produce identical statistics; it exists as the oracle for tests
 // and as the template for organisations the profilers cannot express.
 func RunReplay(w Workload, budget int64) (*Measurement, error) {
-	return runWith(w, budget, NewReplayCacheSet())
+	return runWith(w, budget, NewReplayCacheSet(), Live{})
 }
 
 // RunReplayDevices is RunReplay against an explicit device pair.
 func RunReplayDevices(w Workload, budget int64, prop, ref core.Device) (*Measurement, error) {
-	return runWith(w, budget, NewReplayCacheSetFor(prop, ref))
+	return runWith(w, budget, NewReplayCacheSetFor(prop, ref), Live{})
 }
 
-func runWith(w Workload, budget int64, cs CacheMeasurer) (*Measurement, error) {
-	if budget <= 0 {
-		budget = w.Budget
-	}
-	program := w.Build()
-	cpu, err := vm.RunProgram(program, cs, budget)
+// RunReplayDevicesFrom is RunReplayDevices with an explicit Source.
+func RunReplayDevicesFrom(w Workload, budget int64, prop, ref core.Device, src Source) (*Measurement, error) {
+	return runWith(w, budget, NewReplayCacheSetFor(prop, ref), src)
+}
+
+func runWith(w Workload, budget int64, cs CacheMeasurer, src Source) (*Measurement, error) {
+	instr, err := src.Stream(w, budget, cs)
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		return nil, err
 	}
-	return &Measurement{Workload: w, Caches: cs, Instr: cpu.Instructions}, nil
+	return &Measurement{Workload: w, Caches: cs, Instr: instr}, nil
 }
 
 // Rates converts the measurement into GSPN inputs for the given system.

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// refCollector gathers every reference delivered to it, whatever the
+// batch granularity upstream.
+type refCollector struct{ refs []trace.Ref }
+
+func (c *refCollector) Ref(r trace.Ref) { c.refs = append(c.refs, r) }
+
+func (c *refCollector) counts() trace.Counts {
+	var n trace.Counts
+	for _, r := range c.refs {
+		n.Ref(r)
+	}
+	return n
+}
+
+// TestRecordReplayEquivalence is the pipeline's fidelity contract: for
+// every registered workload, the recorded-then-replayed reference
+// stream is Ref-for-Ref identical to live generation, and the replayed
+// instruction count matches the VM's. Everything downstream (cache
+// models, GSPN rates, figures) therefore cannot tell the sources apart.
+func TestRecordReplayEquivalence(t *testing.T) {
+	const budget = 60_000
+	store, err := tracestore.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Traced{Store: store, Seed: 1}
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			var live refCollector
+			liveInstr, err := Live{}.Stream(w, budget, &live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rec refCollector
+			recInstr, err := src.Stream(w, budget, &rec) // miss: records
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rep refCollector
+			repInstr, err := src.Stream(w, budget, &rep) // hit: replays
+			if err != nil {
+				t.Fatal(err)
+			}
+			if liveInstr != recInstr || liveInstr != repInstr {
+				t.Fatalf("instructions: live %d, record %d, replay %d",
+					liveInstr, recInstr, repInstr)
+			}
+			if lc, pc := live.counts(), rep.counts(); lc != pc {
+				t.Fatalf("counts: live %+v, replay %+v", lc, pc)
+			}
+			if len(live.refs) != len(rep.refs) {
+				t.Fatalf("refs: live %d, replay %d", len(live.refs), len(rep.refs))
+			}
+			for i := range live.refs {
+				if live.refs[i] != rec.refs[i] || live.refs[i] != rep.refs[i] {
+					t.Fatalf("ref %d: live %+v, record %+v, replay %+v",
+						i, live.refs[i], rec.refs[i], rep.refs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTracedInstrFromIfetches pins the invariant the replay path leans
+// on: the VM emits exactly one ifetch per retired instruction, so a
+// stream's ifetch tally is its instruction count.
+func TestTracedInstrFromIfetches(t *testing.T) {
+	w, err := ByName("126.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c refCollector
+	instr, err := Live{}.Stream(w, 50_000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.counts().Ifetches; got != instr {
+		t.Fatalf("ifetches %d != instructions %d", got, instr)
+	}
+}
