@@ -33,10 +33,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The acceptance benchmarks: the single-pass measurement fast path
-# (Figure 7/8 regeneration, live and trace-replay) and the
-# multiprocessor SPLASH runs (Figures 13-17), with allocation stats.
+# (Figure 7/8 regeneration, live and trace-replay), the multiprocessor
+# SPLASH runs (Figures 13-17), and the family-shared design-space
+# search (replay-fed), with allocation stats.
 bench-figures:
-	$(GO) test -run '^$$' -bench 'Fig[78](Replay)?$$|Fig1[3-7]' -benchmem -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'Designspace$$|Fig[78](Replay)?$$|Fig1[3-7]' -benchmem -benchtime 2x .
 
 # Record the current Fig7/Fig8 numbers as the checked-in baseline.
 bench-baseline:
@@ -48,7 +49,7 @@ bench-baseline:
 # (deterministic). -require keeps the guard honest: the acceptance
 # benchmarks must actually run, so the observability hooks cannot
 # regress them unnoticed by a pattern that matches nothing.
-BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig7Replay,BenchmarkFig8Replay,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor
+BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig7Replay,BenchmarkFig8Replay,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor,BenchmarkDesignspace
 
 bench-check:
 	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -threshold 0.20 -require $(BENCH_REQUIRED)

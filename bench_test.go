@@ -140,6 +140,34 @@ func BenchmarkFig8Replay(b *testing.B) {
 	}
 }
 
+// BenchmarkDesignspace times the design-space search on a 64-point
+// lattice, replay-fed: every point is answered by families x benches
+// shared trace passes plus the capped GSPN stage, so this measures the
+// whole pass-sharing fast path end to end.
+func BenchmarkDesignspace(b *testing.B) {
+	o := tracedOpts(b)
+	o.Budget = 100_000
+	o.GSPNInstr = 2_000
+	o.DSBanks = []int{4, 8, 12, 16, 24, 32, 48, 64}
+	o.DSColumns = []int{256, 512}
+	o.DSWays = []int{1, 2}
+	o.DSVictims = []int{0, 16}
+	if _, err := experiments.Designspace(o); err != nil {
+		b.Fatal(err) // untimed recording pass populates the trace cache
+	}
+	b.ResetTimer()
+	var pointsPerPass float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Designspace(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := r.Accounting
+		pointsPerPass = float64(a.Evaluated*a.Benches) / float64(a.Passes)
+	}
+	b.ReportMetric(pointsPerPass, "points_per_pass")
+}
+
 // BenchmarkFig11 regenerates Figure 11 (conventional CPI sensitivity).
 func BenchmarkFig11(b *testing.B) {
 	o := quickOpts()

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// parseAxis parses one designspace axis flag: comma-separated terms,
+// each a plain integer, an arithmetic range lo..hi:step, or a geometric
+// range lo..hi:*k (e.g. "8..128:8", "256..4096:*2", "0,8,16").
+// Duplicate values are dropped (first occurrence wins) so the search
+// lattice stays a proper cross-product.
+func parseAxis(name, spec string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	add := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		lo, hi, step, geo, err := parseRange(term)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", name, err)
+		}
+		if !geo && step == 0 { // plain integer
+			add(lo)
+			continue
+		}
+		if geo {
+			for v := lo; v <= hi; v *= step {
+				add(v)
+				if v > hi/step { // overflow guard
+					break
+				}
+			}
+			continue
+		}
+		for v := lo; v <= hi; v += step {
+			add(v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty axis %q", name, spec)
+	}
+	return out, nil
+}
+
+// parseRange splits one axis term. A plain integer returns step 0.
+func parseRange(term string) (lo, hi, step int, geo bool, err error) {
+	i := strings.Index(term, "..")
+	if i < 0 {
+		v, err := strconv.Atoi(term)
+		if err != nil || v < 0 {
+			return 0, 0, 0, false, fmt.Errorf("bad axis value %q", term)
+		}
+		return v, 0, 0, false, nil
+	}
+	rest := term[i+2:]
+	j := strings.Index(rest, ":")
+	if j < 0 {
+		return 0, 0, 0, false, fmt.Errorf("range %q needs a :step or :*k suffix", term)
+	}
+	lo, err = strconv.Atoi(term[:i])
+	if err != nil || lo < 0 {
+		return 0, 0, 0, false, fmt.Errorf("bad range start in %q", term)
+	}
+	hi, err = strconv.Atoi(rest[:j])
+	if err != nil || hi < lo {
+		return 0, 0, 0, false, fmt.Errorf("bad range end in %q", term)
+	}
+	s := rest[j+1:]
+	if strings.HasPrefix(s, "*") {
+		geo = true
+		s = s[1:]
+	}
+	step, err = strconv.Atoi(s)
+	if err != nil || (geo && step < 2) || (!geo && step < 1) || lo == 0 && geo {
+		return 0, 0, 0, false, fmt.Errorf("bad range step in %q", term)
+	}
+	return lo, hi, step, geo, nil
+}
+
+// frontierPath is the -ds-frontier flag: when set, any experiment
+// result that can export a Pareto frontier writes it here after
+// rendering. Like jsonMode, it is plumbed as a package variable so the
+// render path stays a pure function of the job results.
+var frontierPath string
+
+// frontierWriter is implemented by results with an exportable Pareto
+// frontier (the designspace search).
+type frontierWriter interface {
+	WriteFrontierJSON(io.Writer) error
+	WriteFrontierCSV(io.Writer) error
+}
+
+// exportFrontier honours -ds-frontier for one result; the format
+// follows the file extension (.csv = CSV, anything else JSON).
+func exportFrontier(v interface{}) error {
+	fw, ok := v.(frontierWriter)
+	if !ok || frontierPath == "" {
+		return nil
+	}
+	f, err := os.Create(frontierPath)
+	if err != nil {
+		return fmt.Errorf("ds-frontier: %w", err)
+	}
+	if strings.HasSuffix(frontierPath, ".csv") {
+		err = fw.WriteFrontierCSV(f)
+	} else {
+		err = fw.WriteFrontierJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("ds-frontier: %w", err)
+	}
+	return nil
+}

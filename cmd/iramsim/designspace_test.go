@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseAxis(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []int
+	}{
+		{"16", []int{16}},
+		{"0,8,16", []int{0, 8, 16}},
+		{"8..32:8", []int{8, 16, 24, 32}},
+		{"8..33:8", []int{8, 16, 24, 32}},
+		{"256..4096:*2", []int{256, 512, 1024, 2048, 4096}},
+		{"64..4096:*4", []int{64, 256, 1024, 4096}},
+		{"4,2..8:2", []int{4, 2, 6, 8}}, // duplicates dropped, first wins
+		{" 8 , 16 ", []int{8, 16}},
+		{"2..2:1", []int{2}},
+	}
+	for _, c := range cases {
+		got, err := parseAxis("ds-banks", c.spec)
+		if err != nil {
+			t.Errorf("parseAxis(%q): %v", c.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAxis(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseAxisErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",         // empty axis
+		"x",        // not a number
+		"-4",       // negative
+		"8..4:2",   // end before start
+		"8..16",    // missing step
+		"8..16:0",  // zero step
+		"8..16:*1", // geometric step must be >= 2
+		"0..16:*2", // geometric from zero never terminates
+		"8..16:-2", // negative step
+	} {
+		if _, err := parseAxis("ds-banks", spec); err == nil {
+			t.Errorf("parseAxis(%q) accepted, want error", spec)
+		} else if !strings.Contains(err.Error(), "ds-banks") {
+			t.Errorf("parseAxis(%q) error %q does not name the flag", spec, err)
+		}
+	}
+}

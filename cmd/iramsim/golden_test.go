@@ -54,6 +54,42 @@ func TestQuickGolden(t *testing.T) {
 	}
 }
 
+// TestDesignspaceGolden locks the design-space search output — grid
+// table, Pareto frontier, and the accounting note proving pass sharing —
+// byte-for-byte on a small grid (the default 12-point axes). To bless
+// an intentional change:
+// UPDATE_GOLDEN=1 go test -run TestDesignspaceGolden ./cmd/iramsim
+func TestDesignspaceGolden(t *testing.T) {
+	opts := quickOpts()
+	ms := experiments.NewMeasurementSet(opts)
+	var buf bytes.Buffer
+	if err := runNames([]string{"designspace"}, opts, ms, 1, nil, &buf, io.Discard); err != nil {
+		t.Fatalf("runNames: %v", err)
+	}
+	got := buf.Bytes()
+	if !bytes.Contains(got, []byte("accounting: lattice=12")) {
+		t.Fatalf("designspace output missing the accounting note:\n%s", got)
+	}
+
+	path := filepath.Join("testdata", "designspace_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("designspace output drifted from %s.\n"+
+			"If intentional, regenerate with UPDATE_GOLDEN=1 and explain in the commit.\n%s",
+			path, firstDiff(want, got))
+	}
+}
+
 // firstDiff renders the first differing line of two outputs.
 func firstDiff(want, got []byte) string {
 	w := strings.Split(string(want), "\n")

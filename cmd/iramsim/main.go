@@ -66,6 +66,13 @@ type cliConfig struct {
 	record       string
 	replay       string
 	traceDir     string
+	dsBanks      string
+	dsColumns    string
+	dsWays       string
+	dsVictims    string
+	dsCoarse     int
+	dsRefine     int
+	dsFrontier   string
 	cpuprofile   string
 	memprofile   string
 	metrics      string
@@ -85,6 +92,13 @@ func main() {
 	flag.StringVar(&c.traceDir, "trace-dir", "", "workload trace cache dir: replay recorded reference streams, record on miss")
 	flag.StringVar(&c.replay, "replay", "", "replay workload traces from this cache dir (synonym for -trace-dir)")
 	flag.StringVar(&c.record, "record", "", "re-record workload traces into this cache dir; with no experiments, pre-populate every workload and exit")
+	flag.StringVar(&c.dsBanks, "ds-banks", "", "designspace banks axis: comma list and/or lo..hi:step / lo..hi:*k ranges (e.g. 8..128:8)")
+	flag.StringVar(&c.dsColumns, "ds-columns", "", "designspace column-size axis (bytes), same range syntax")
+	flag.StringVar(&c.dsWays, "ds-ways", "", "designspace D-cache associativity axis, same range syntax")
+	flag.StringVar(&c.dsVictims, "ds-victims", "", "designspace victim-entry axis (0 = no victim cache), same range syntax")
+	flag.IntVar(&c.dsCoarse, "ds-coarse", 0, "designspace coarse-grid stride: evaluate every k-th lattice index per axis first (<=1 = exhaustive)")
+	flag.IntVar(&c.dsRefine, "ds-refine", 0, "designspace adaptive-refinement rounds around the screening frontier")
+	flag.StringVar(&c.dsFrontier, "ds-frontier", "", "write the designspace Pareto frontier to this file (.json or .csv)")
 	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&c.metrics, "metrics", "", "write simulator metrics as JSON to this file after the run")
@@ -159,6 +173,29 @@ func mainErr(c cliConfig) error {
 		}
 		opts.Machine = &dev
 	}
+	for _, ax := range []struct {
+		name string
+		val  string
+		dst  *[]int
+	}{
+		{"ds-banks", c.dsBanks, &opts.DSBanks},
+		{"ds-columns", c.dsColumns, &opts.DSColumns},
+		{"ds-ways", c.dsWays, &opts.DSWays},
+		{"ds-victims", c.dsVictims, &opts.DSVictims},
+	} {
+		if ax.val == "" {
+			continue
+		}
+		vals, err := parseAxis(ax.name, ax.val)
+		if err != nil {
+			return err
+		}
+		*ax.dst = vals
+	}
+	opts.DSCoarse = c.dsCoarse
+	opts.DSRefine = c.dsRefine
+	opts.Workers = c.workers
+	frontierPath = c.dsFrontier
 
 	traceDir, err := resolveTraceDir(c)
 	if err != nil {
@@ -406,6 +443,17 @@ func render(out io.Writer, name string, v interface{}) error {
 		_, err := out.Write(b)
 		return err
 	}
+	if err := exportFrontier(v); err != nil {
+		return err
+	}
+	if !jsonMode {
+		if mt, ok := v.(multiTabler); ok {
+			for _, tab := range mt.Tables() {
+				tab.Render(out)
+			}
+			return nil
+		}
+	}
 	t, ok := v.(tabler)
 	if !ok {
 		return fmt.Errorf("experiment %q returned unrenderable %T", name, v)
@@ -423,6 +471,11 @@ func render(out io.Writer, name string, v interface{}) error {
 
 // tabler is any experiment result that can render itself.
 type tabler interface{ Table() *report.Table }
+
+// multiTabler marks results that render as several tables (the
+// designspace search: point grid + Pareto frontier). It takes
+// precedence over tabler outside -json mode.
+type multiTabler interface{ Tables() []*report.Table }
 
 // plotter marks results that also render an ASCII plot (fig11, fig12,
 // fig13..fig17).
@@ -445,6 +498,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} designspace scoma fabric selftest workloads fig910 all")
 	fmt.Fprintln(os.Stderr, "machine descriptions: -machine examples/machine-32bank.json (see examples/)")
 	fmt.Fprintln(os.Stderr, "trace cache: -trace-dir/-replay/-record <dir> (record-all: iramsim -record <dir>)")
+	fmt.Fprintln(os.Stderr, "design-space search: iramsim designspace -ds-banks 8..128:8 -ds-columns 256..4096:*2 \\")
+	fmt.Fprintln(os.Stderr, "  -ds-ways 1,2,4 -ds-victims 0,16 -ds-coarse 4 -ds-refine 2 -ds-frontier pareto.json")
+	fmt.Fprintln(os.Stderr, "  (points group into column-size families; each family costs ONE trace pass per bench)")
 	flag.PrintDefaults()
 }
 

@@ -146,6 +146,30 @@ func (d Device) WithGeometry(banks, columnBytes, victimEntries int) Device {
 	return d
 }
 
+// WithOrganisation is WithGeometry plus a data-cache associativity
+// change: the D-cache becomes dataWays column buffers per bank, and the
+// DRAM buffer count follows (1 I + dataWays D) so Validate() still
+// holds. It is the full four-axis re-derivation the design-space search
+// sweeps over.
+func (d Device) WithOrganisation(banks, columnBytes, victimEntries, dataWays int) Device {
+	d.DCacheWays = dataWays
+	d.DRAM.BuffersPerBank = 1 + dataWays
+	return d.WithGeometry(banks, columnBytes, victimEntries)
+}
+
+// AreaMM2 evaluates the die-area proxy for this device's geometry: DRAM
+// cells + per-bank periphery + column-buffer SRAM + victim CAM + core.
+func (d Device) AreaMM2() float64 {
+	m := costmodel.DefaultArea()
+	return m.DeviceAreaMM2(costmodel.AreaParams{
+		CapacityMbit:       float64(d.DRAM.CapacityBytes) * 8 / (1 << 20),
+		Banks:              d.DRAM.Banks,
+		BufferBytesPerBank: d.DRAM.BuffersPerBank * d.DRAM.ColumnBytes,
+		VictimBytes:        d.VictimEntries * d.VictimLineBytes,
+		CoreAreaMM2:        d.Cost.CPUCoreAreaMM2,
+	})
+}
+
 // MemoryBandwidthGBs returns one datapath's bandwidth in GB/s
 // (the paper: "each provides 1.6 GBytes/sec").
 func (d Device) MemoryBandwidthGBs() float64 {

@@ -75,3 +75,45 @@ func TestDatasheet(t *testing.T) {
 		}
 	}
 }
+
+// TestWithOrganisation checks the four-axis re-derivation: changing
+// D-cache associativity must track the DRAM buffer count so the derived
+// device still validates, and the paper point must be reproduced when
+// all four axes match Proposed().
+func TestWithOrganisation(t *testing.T) {
+	d := Proposed().WithOrganisation(16, 512, 16, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("paper point via WithOrganisation: %v", err)
+	}
+	if d.DCacheBytes != Proposed().DCacheBytes || d.DRAM.BuffersPerBank != Proposed().DRAM.BuffersPerBank {
+		t.Errorf("WithOrganisation(paper axes) diverges from Proposed(): %+v", d)
+	}
+	for _, ways := range []int{1, 2, 4} {
+		g := Proposed().WithOrganisation(32, 256, 8, ways)
+		if err := g.Validate(); err != nil {
+			t.Errorf("ways=%d: %v", ways, err)
+		}
+		if g.DCacheBytes != ways*32*256 {
+			t.Errorf("ways=%d: D-cache %d B, want %d", ways, g.DCacheBytes, ways*32*256)
+		}
+		if g.DRAM.BuffersPerBank != 1+ways {
+			t.Errorf("ways=%d: %d buffers per bank, want %d", ways, g.DRAM.BuffersPerBank, 1+ways)
+		}
+	}
+}
+
+// TestAreaMM2 pins the paper device near the Section 3 die and checks
+// geometry monotonicity at the device level.
+func TestAreaMM2(t *testing.T) {
+	base := Proposed()
+	a := base.AreaMM2()
+	if a < 290 || a > 310 {
+		t.Errorf("Proposed() area = %.1f mm², want ~300", a)
+	}
+	if more := base.WithGeometry(32, 512, 16); more.AreaMM2() <= a {
+		t.Error("more banks must cost area")
+	}
+	if less := base.WithGeometry(16, 512, 0); less.AreaMM2() >= a {
+		t.Error("dropping the victim cache must save area")
+	}
+}

@@ -45,6 +45,68 @@ type Result struct {
 	ECCOverheadPercent float64
 }
 
+// AreaModel is the die-area proxy for the design-space search: a
+// first-order decomposition of an integrated device into DRAM cell
+// array, per-bank periphery, column-buffer SRAM, victim-cache CAM, and
+// the processor core. It deliberately stays at the fidelity of the
+// paper's own Section 3 arithmetic — good enough to rank geometries
+// against each other (more banks and wider columns cost real silicon),
+// not a layout tool. Default() calibrates the coefficients so the
+// paper's device (256 Mbit, 16 banks x 3 x 512 B buffers, 512 B victim,
+// 27 mm^2 core) lands on the ~300 mm^2 die of Section 3.
+type AreaModel struct {
+	CellMM2PerMbit float64 // DRAM cell array density
+	BankFixedMM2   float64 // per-bank decoder/control stripe
+	BufferMM2PerKB float64 // column-buffer SRAM (sense-amp latches)
+	VictimMM2PerKB float64 // fully-associative victim array (CAM tags)
+}
+
+// DefaultArea returns the calibrated coefficients.
+func DefaultArea() AreaModel {
+	return AreaModel{
+		CellMM2PerMbit: 1.0,
+		BankFixedMM2:   0.35,
+		BufferMM2PerKB: 0.40,
+		VictimMM2PerKB: 0.80,
+	}
+}
+
+// AreaParams describes one device geometry for the proxy.
+type AreaParams struct {
+	CapacityMbit       float64 // DRAM capacity
+	Banks              int     // independent banks
+	BufferBytesPerBank int     // column-buffer bytes per bank (all buffers)
+	VictimBytes        int     // victim-cache capacity (0 = none)
+	CoreAreaMM2        float64 // processor core
+}
+
+// DeviceAreaMM2 evaluates the proxy for one geometry.
+func (m AreaModel) DeviceAreaMM2(p AreaParams) float64 {
+	cells := m.CellMM2PerMbit * p.CapacityMbit
+	banks := m.BankFixedMM2 * float64(p.Banks)
+	buffers := m.BufferMM2PerKB * float64(p.Banks*p.BufferBytesPerBank) / 1024
+	victim := m.VictimMM2PerKB * float64(p.VictimBytes) / 1024
+	return cells + banks + buffers + victim + p.CoreAreaMM2
+}
+
+// DollarsProxy converts a proxy die area into a device-cost estimate
+// using the CDRAM cost-per-area scaling of Section 3: the cell array
+// at plain DRAM cost, everything above it growing cost at
+// CostPerAreaFactor per unit of relative area added.
+func (m AreaModel) DollarsProxy(in Inputs, areaMM2 float64) float64 {
+	cells := m.CellMM2PerMbit * in.DRAMCapacityMbit
+	if cells <= 0 {
+		return 0
+	}
+	plain := in.DRAMCapacityMbit / 8 * in.DollarPerMByte
+	extraFrac := (areaMM2 - cells) / cells
+	if extraFrac < 0 {
+		extraFrac = 0
+	}
+	costPerArea := in.CDRAMCostIncrease / in.CDRAMAreaIncrease
+	return plain * (1 + extraFrac*costPerArea)
+}
+
 // Evaluate computes the Section 3 arithmetic.
 func Evaluate(in Inputs) Result {
 	mbytes := in.DRAMCapacityMbit / 8

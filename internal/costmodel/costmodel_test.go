@@ -48,3 +48,64 @@ func TestPremiumScalesWithArea(t *testing.T) {
 		t.Error("doubling the area fraction must raise the premium")
 	}
 }
+
+// TestAreaProxyCalibration pins the proxy at the paper's device: a
+// 256 Mbit array, 16 banks of 3 × 512 B buffers, a 512 B victim cache,
+// and a 27 mm² core should land on the ~300 mm² Section 3 die.
+func TestAreaProxyCalibration(t *testing.T) {
+	m := DefaultArea()
+	got := m.DeviceAreaMM2(AreaParams{
+		CapacityMbit:       256,
+		Banks:              16,
+		BufferBytesPerBank: 3 * 512,
+		VictimBytes:        512,
+		CoreAreaMM2:        27,
+	})
+	if got < 290 || got > 310 {
+		t.Errorf("paper device area = %.1f mm², want ~300", got)
+	}
+}
+
+// TestAreaProxyMonotone checks that every axis costs silicon: more
+// banks, wider columns (more buffer bytes), and a victim cache each
+// strictly grow the proxy.
+func TestAreaProxyMonotone(t *testing.T) {
+	m := DefaultArea()
+	base := AreaParams{CapacityMbit: 256, Banks: 16, BufferBytesPerBank: 3 * 512, VictimBytes: 0, CoreAreaMM2: 27}
+	a0 := m.DeviceAreaMM2(base)
+
+	more := base
+	more.Banks = 32
+	if m.DeviceAreaMM2(more) <= a0 {
+		t.Error("doubling banks must grow the die")
+	}
+	more = base
+	more.BufferBytesPerBank = 3 * 1024
+	if m.DeviceAreaMM2(more) <= a0 {
+		t.Error("doubling column buffers must grow the die")
+	}
+	more = base
+	more.VictimBytes = 512
+	if m.DeviceAreaMM2(more) <= a0 {
+		t.Error("adding a victim cache must grow the die")
+	}
+}
+
+// TestDollarsProxy checks the cost conversion: the cell array alone is
+// the plain $800 part, and extra area is priced at the CDRAM factor.
+func TestDollarsProxy(t *testing.T) {
+	m := DefaultArea()
+	in := Default()
+	cells := m.CellMM2PerMbit * in.DRAMCapacityMbit
+	if d := m.DollarsProxy(in, cells); d != 800 {
+		t.Errorf("bare cell array = $%v, want $800", d)
+	}
+	// 10% extra area at the 1.43x factor ≈ +14.3% cost.
+	d := m.DollarsProxy(in, cells*1.10)
+	if d < 910 || d > 920 {
+		t.Errorf("+10%% area = $%v, want ~$914", d)
+	}
+	if m.DollarsProxy(in, cells-10) != 800 {
+		t.Error("area below the cell array must clamp to the plain part")
+	}
+}

@@ -121,15 +121,27 @@ func TestDesignspaceDeterministic(t *testing.T) {
 }
 
 // TestDesignspaceFiltersInvalid: a victim-entry count whose line size
-// cannot tile the column must be dropped from the sweep, not run.
+// cannot tile the column must be dropped from the lattice, not run.
+// Units are per (column family, bench), so the invalid point shrinks
+// the result, not the unit list.
 func TestDesignspaceFiltersInvalid(t *testing.T) {
 	o := Quick()
+	o.Budget = 50_000
+	o.GSPNInstr = 2_000
 	o.DSBanks = []int{16}
 	o.DSColumns = []int{512}
 	o.DSVictims = []int{0, 3} // 512/3 is not an integer line size
 	j := DesignspaceJob(o)
-	if want := len(designspaceBenches); len(j.Units) != want {
-		t.Errorf("designspace kept %d units, want %d (victim=3 point filtered)",
+	if want := 1 * len(designspaceBenches); len(j.Units) != want {
+		t.Errorf("designspace built %d units, want %d (one column family x benches)",
 			len(j.Units), want)
+	}
+	v, err := sweep.RunSerial(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.(*DesignspaceResult)
+	if len(res.Points) != 1 {
+		t.Errorf("lattice kept %d points, want 1 (victim=3 filtered)", len(res.Points))
 	}
 }

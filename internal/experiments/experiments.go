@@ -40,9 +40,20 @@ type Options struct {
 	// Machine optionally overrides the integrated device under test
 	// (the iramsim -machine flag); nil means the paper's core.Proposed().
 	Machine *core.Device
-	// DSBanks / DSColumns / DSVictims override the designspace sweep
-	// axes (nil = built-in defaults; see DesignspaceJob).
-	DSBanks, DSColumns, DSVictims []int
+	// DSBanks / DSColumns / DSWays / DSVictims override the designspace
+	// search axes (nil = built-in defaults; see DesignspaceJob).
+	DSBanks, DSColumns, DSWays, DSVictims []int
+	// DSCoarse is the designspace coarse-grid stride: round 0 evaluates
+	// every DSCoarse-th lattice index per axis (plus the endpoints).
+	// <= 1 evaluates the whole lattice.
+	DSCoarse int
+	// DSRefine bounds the adaptive-refinement rounds that expand the
+	// lattice neighbours of the screening frontier (0 = no refinement).
+	DSRefine int
+	// Workers sizes the nested sweeps some experiments fan out from
+	// their assembly step (the designspace GSPN stage); <= 0 means
+	// serial. The CLI sets it from -j.
+	Workers int
 	// TraceSource, when non-nil, supplies every workload's reference
 	// stream instead of live VM execution — the trace record/replay
 	// pipeline behind the iramsim -record/-replay/-trace-dir flags.

@@ -42,6 +42,7 @@ type SetProfiler struct {
 	lineShift uint
 	linePow2  bool
 	trackers  []tracker
+	index     map[uint64]int // set count -> tracker index
 
 	// Pos holds, per tracker (in TrackerIndex order), the LRU position
 	// the latest Access hit at, or -1 on a miss. It lets callers route
@@ -95,18 +96,37 @@ func NewSetProfiler(lineSize uint64, geoms []Geometry) *SetProfiler {
 		p.trackers = append(p.trackers, t)
 	}
 	p.Pos = make([]int8, len(p.trackers))
+	p.index = make(map[uint64]int, len(p.trackers))
+	for i := range p.trackers {
+		p.index[p.trackers[i].sets] = i
+	}
 	return p
 }
 
 // TrackerIndex returns the index into Pos of the tracker covering the
-// given set count, or -1 if no requested geometry uses it.
+// given set count, or -1 if no requested geometry uses it. The lookup
+// is O(1): design-space families register hundreds of set counts, and
+// assembling their statistics probes every one.
 func (p *SetProfiler) TrackerIndex(sets uint64) int {
-	for i := range p.trackers {
-		if p.trackers[i].sets == sets {
-			return i
-		}
+	if i, ok := p.index[sets]; ok {
+		return i
 	}
 	return -1
+}
+
+// Trackers returns the number of distinct set counts profiled — the
+// per-reference scan cost, and the denominator of the family-sharing
+// win: one pass answers every (set count, ways <= tracker ways) point.
+func (p *SetProfiler) Trackers() int { return len(p.trackers) }
+
+// MaxWays returns the associativity the tracker for the given set
+// count maintains (every ways <= MaxWays is answerable), or 0 if the
+// set count is not profiled.
+func (p *SetProfiler) MaxWays(sets uint64) int {
+	if i, ok := p.index[sets]; ok {
+		return p.trackers[i].ways
+	}
+	return 0
 }
 
 // LineSize returns the profiler's line size in bytes.

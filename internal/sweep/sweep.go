@@ -285,6 +285,20 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 	return nil
 }
 
+// RunJob runs a single job through the engine and returns its
+// assembled value. It is the one-job convenience over Run, used by
+// multi-stage experiments (the design-space search) that fan nested
+// stages — refinement rounds, screened GSPN evaluations — back through
+// the engine instead of hand-rolling goroutine pools.
+func (e *Engine) RunJob(j Job) (interface{}, error) {
+	var out interface{}
+	err := e.Run([]Job{j}, func(r JobResult) error {
+		out = r.Value
+		return nil
+	})
+	return out, err
+}
+
 // RunSerial executes one job's units in order on the calling
 // goroutine and assembles the result. It is the serial reference
 // implementation: Engine.Run with any worker count produces the same
