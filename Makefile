@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci fuzz trace-cache vet lint results quick-results results-check clean
+.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci fuzz trace-cache result-cache vet lint results quick-results results-check clean
 
 all: build vet test
 
@@ -33,11 +33,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The acceptance benchmarks: the single-pass measurement fast path
-# (Figure 7/8 regeneration, live and trace-replay), the multiprocessor
-# SPLASH runs (Figures 13-17), and the family-shared design-space
-# search (replay-fed), with allocation stats.
+# (Figure 7/8 regeneration, live, trace-replay, and result-cache warm),
+# the multiprocessor SPLASH runs (Figures 13-17), and the family-shared
+# design-space search (replay-fed), with allocation stats.
 bench-figures:
-	$(GO) test -run '^$$' -bench 'Designspace$$|Fig[78](Replay)?$$|Fig1[3-7]' -benchmem -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'Designspace$$|Fig[78](Replay|Warm)?$$|Fig1[3-7]' -benchmem -benchtime 2x .
 
 # Record the current Fig7/Fig8 numbers as the checked-in baseline.
 bench-baseline:
@@ -49,7 +49,7 @@ bench-baseline:
 # (deterministic). -require keeps the guard honest: the acceptance
 # benchmarks must actually run, so the observability hooks cannot
 # regress them unnoticed by a pattern that matches nothing.
-BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig7Replay,BenchmarkFig8Replay,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor,BenchmarkDesignspace
+BENCH_REQUIRED = BenchmarkFig7,BenchmarkFig8,BenchmarkFig7Replay,BenchmarkFig8Replay,BenchmarkFig7Warm,BenchmarkFig13LU,BenchmarkFig14MP3D,BenchmarkFig15Ocean,BenchmarkFig16Water,BenchmarkFig17Pthor,BenchmarkDesignspace
 
 bench-check:
 	$(MAKE) -s bench-figures | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -threshold 0.20 -require $(BENCH_REQUIRED)
@@ -69,6 +69,14 @@ fuzz:
 TRACE_DIR ?= .trace-cache
 trace-cache:
 	$(GO) run ./cmd/iramsim -record $(TRACE_DIR)
+
+# Pre-warm the on-disk result cache with one full-fidelity pass over
+# every experiment; later `iramsim` runs (same fidelity) decode the
+# assembled results instead of re-simulating. The cache is on by
+# default under $(RESULT_DIR); -no-result-cache opts out.
+RESULT_DIR ?= .result-cache
+result-cache:
+	$(GO) run ./cmd/iramsim -result-cache $(RESULT_DIR) all > /dev/null
 
 # Regenerate every experiment at full fidelity (~15 serial minutes,
 # spread across all cores by default; see the iramsim -j flag).

@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
+	"repro/internal/sweep"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
@@ -93,6 +95,30 @@ func BenchmarkFig8(b *testing.B) {
 		}
 	}
 	b.ReportMetric(victimGain, "tomcatv_victim_gain_x")
+}
+
+// BenchmarkFig7Warm is BenchmarkFig7 against a pre-populated result
+// cache: every unit decodes its assembled row instead of simulating, so
+// this measures the warm-rerun floor (store read + versioned gob
+// decode). The gap to BenchmarkFig7 is what a rerun saves.
+func BenchmarkFig7Warm(b *testing.B) {
+	store, err := resultstore.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := quickOpts()
+	run := func() {
+		eng := &sweep.Engine{Workers: 4, Cache: store}
+		job := experiments.Fig7Job(o, experiments.NewMeasurementSet(o))
+		if err := eng.Run([]sweep.Job{job}, func(sweep.JobResult) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // untimed cold pass populates the store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
 }
 
 // tracedOpts returns quickOpts with the reference streams served from a

@@ -21,6 +21,8 @@
 //	-replay d     synonym for -trace-dir (replay emphasis)
 //	-record d     re-record workload traces into d; with no experiments,
 //	              pre-populate every workload's stream and exit
+//	-result-cache d   assembled-result cache dir (default .result-cache)
+//	-no-result-cache  disable the result cache entirely
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f on exit
 //	-metrics f    write simulator metrics (JSON) to f after the run
@@ -45,6 +47,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/resultstore"
 	"repro/internal/selftest"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -58,26 +61,28 @@ var jsonMode bool
 
 // cliConfig gathers the parsed command-line flags.
 type cliConfig struct {
-	quick        bool
-	budget, seed int64
-	procs        string
-	machine      string
-	workers      int
-	record       string
-	replay       string
-	traceDir     string
-	dsBanks      string
-	dsColumns    string
-	dsWays       string
-	dsVictims    string
-	dsCoarse     int
-	dsRefine     int
-	dsFrontier   string
-	cpuprofile   string
-	memprofile   string
-	metrics      string
-	trace        string
-	debugAddr    string
+	quick         bool
+	budget, seed  int64
+	procs         string
+	machine       string
+	workers       int
+	record        string
+	replay        string
+	traceDir      string
+	resultCache   string
+	noResultCache bool
+	dsBanks       string
+	dsColumns     string
+	dsWays        string
+	dsVictims     string
+	dsCoarse      int
+	dsRefine      int
+	dsFrontier    string
+	cpuprofile    string
+	memprofile    string
+	metrics       string
+	trace         string
+	debugAddr     string
 }
 
 func main() {
@@ -92,6 +97,8 @@ func main() {
 	flag.StringVar(&c.traceDir, "trace-dir", "", "workload trace cache dir: replay recorded reference streams, record on miss")
 	flag.StringVar(&c.replay, "replay", "", "replay workload traces from this cache dir (synonym for -trace-dir)")
 	flag.StringVar(&c.record, "record", "", "re-record workload traces into this cache dir; with no experiments, pre-populate every workload and exit")
+	flag.StringVar(&c.resultCache, "result-cache", ".result-cache", "assembled-result cache dir (content-addressed; warm reruns decode instead of simulating)")
+	flag.BoolVar(&c.noResultCache, "no-result-cache", false, "disable the result cache (every unit recomputes)")
 	flag.StringVar(&c.dsBanks, "ds-banks", "", "designspace banks axis: comma list and/or lo..hi:step / lo..hi:*k ranges (e.g. 8..128:8)")
 	flag.StringVar(&c.dsColumns, "ds-columns", "", "designspace column-size axis (bytes), same range syntax")
 	flag.StringVar(&c.dsWays, "ds-ways", "", "designspace D-cache associativity axis, same range syntax")
@@ -210,6 +217,20 @@ func mainErr(c cliConfig) error {
 	}
 	if flag.NArg() == 0 {
 		return recordAll(opts, os.Stderr)
+	}
+
+	// The result cache is on by default: warm reruns decode assembled
+	// unit results instead of re-simulating, with byte-identical output
+	// (versioned gob encodes float64s bit-exactly; any stale, corrupt,
+	// or foreign entry decodes as a miss and is recomputed). A -record
+	// run is the exception: its purpose is to execute every workload so
+	// the traces get written, so it never satisfies units from cache.
+	if !c.noResultCache && c.resultCache != "" && c.record == "" {
+		store, err := resultstore.NewStore(c.resultCache)
+		if err != nil {
+			return err
+		}
+		opts.ResultCache = store
 	}
 
 	// Observability is opt-in: with no flag set, opts.Obs and tracer stay
@@ -345,7 +366,8 @@ func runNames(names []string, opts experiments.Options, ms *experiments.Measurem
 		}
 		jobs = append(jobs, j)
 	}
-	eng := &sweep.Engine{Workers: workers, Progress: progress, Obs: opts.Obs, Trace: tracer}
+	eng := &sweep.Engine{Workers: workers, Progress: progress, Obs: opts.Obs, Trace: tracer,
+		Cache: opts.ResultCache}
 	return eng.Run(jobs, func(r sweep.JobResult) error {
 		return render(out, r.Name, r.Value)
 	})

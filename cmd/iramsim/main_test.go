@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/resultstore"
 )
 
 // cheap experiments exercised through the dispatcher (the heavyweight
@@ -79,6 +80,37 @@ func TestSweepDeterminism(t *testing.T) {
 	j8 := sweepOutput(t, 8, opts)
 	if !bytes.Equal(j1, j8) {
 		t.Errorf("JSON output differs between -j 1 and -j 8")
+	}
+}
+
+// TestSweepDeterminismWithCache extends the determinism guarantee to
+// the result cache: against a shared store, the cold populating run and
+// warm reruns at several worker counts must all reproduce the uncached
+// stream byte-for-byte, in table and JSON modes.
+func TestSweepDeterminismWithCache(t *testing.T) {
+	opts := quickOpts()
+	baseline := sweepOutput(t, 4, opts)
+
+	store, err := resultstore.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ResultCache = store
+	if cold := sweepOutput(t, 1, opts); !bytes.Equal(baseline, cold) {
+		t.Errorf("cold cached run differs from uncached baseline:\n--- plain ---\n%s\n--- cold ---\n%s", baseline, cold)
+	}
+	for _, w := range []int{2, 8} {
+		if warm := sweepOutput(t, w, opts); !bytes.Equal(baseline, warm) {
+			t.Errorf("warm cached run (-j %d) differs from uncached baseline", w)
+		}
+	}
+
+	jsonMode = true
+	defer func() { jsonMode = false }()
+	plain := quickOpts()
+	j1 := sweepOutput(t, 1, plain)
+	if warm := sweepOutput(t, 8, opts); !bytes.Equal(j1, warm) {
+		t.Errorf("JSON output differs between uncached and warm cached runs")
 	}
 }
 

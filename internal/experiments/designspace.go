@@ -313,6 +313,12 @@ func DesignspaceJob(o Options) sweep.Job {
 	lat := newDesignLattice(o)
 	columns, byColumn := lat.families()
 
+	// The family units' names encode only (column, bench); the axes come
+	// from Options, so the registered point set is fingerprinted into
+	// the cache key — widening an axis re-keys every affected family,
+	// and a refinement re-run with wider axes reuses any family whose
+	// registration list is unchanged.
+	famK := newKeyer("designspace", o, fmt.Sprintf("budget=%d", o.Budget))
 	var passes int64
 	var units []sweep.Unit
 	for _, col := range columns {
@@ -320,16 +326,26 @@ func DesignspaceJob(o Options) sweep.Job {
 		pts := byColumn[col]
 		for _, bench := range designspaceBenches {
 			bench := bench
+			uname := fmt.Sprintf("designspace/col=%d/%s", col, bench)
 			units = append(units, sweep.Unit{
-				Name: fmt.Sprintf("designspace/col=%d/%s", col, bench),
-				Seed: o.Seed,
+				Name:  uname,
+				Seed:  o.Seed,
+				Key:   famK.key(uname, 0, familyCodec.schema(), "pts="+familyPointsFingerprint(col, pts)),
+				Codec: familyCodec,
 				Run: func() (interface{}, error) {
 					w, err := workload.ByName(bench)
 					if err != nil {
 						return nil, err
 					}
 					atomic.AddInt64(&passes, 1)
-					return workload.RunFamily(w, o.Budget, workload.NewFamilyCacheSet(col, pts), o.source())
+					m, err := workload.RunFamily(w, o.Budget, workload.NewFamilyCacheSet(col, pts), o.source())
+					if err != nil {
+						return nil, err
+					}
+					// Distil the live profiler state down to the
+					// serializable summary the assembly (and the result
+					// cache) consumes.
+					return m.Summary(pts), nil
 				},
 			})
 		}
@@ -337,15 +353,15 @@ func DesignspaceJob(o Options) sweep.Job {
 
 	assemble := func(parts []interface{}) (interface{}, error) {
 		// meas[column][bench] — unit order is family-major, bench-minor.
-		meas := make(map[int]map[string]*workload.FamilyMeasurement, len(columns))
+		meas := make(map[int]map[string]*workload.FamilySummary, len(columns))
 		compounds := 0
 		for fi, col := range columns {
-			meas[col] = make(map[string]*workload.FamilyMeasurement, len(designspaceBenches))
+			meas[col] = make(map[string]*workload.FamilySummary, len(designspaceBenches))
 			for bi, bench := range designspaceBenches {
-				m := parts[fi*len(designspaceBenches)+bi].(*workload.FamilyMeasurement)
+				m := parts[fi*len(designspaceBenches)+bi].(*workload.FamilySummary)
 				meas[col][bench] = m
 			}
-			compounds += meas[col][designspaceBenches[0]].Set.Compounds()
+			compounds += meas[col][designspaceBenches[0]].Compounds()
 		}
 
 		// rowsFor reads one point's per-bench miss rates and area out of
@@ -356,7 +372,7 @@ func DesignspaceJob(o Options) sweep.Job {
 			area := lat.devs[i].AreaMM2()
 			out := make([]DesignRow, len(designspaceBenches))
 			for bi, bench := range designspaceBenches {
-				set := meas[p.ColumnBytes][bench].Set
+				set := meas[p.ColumnBytes][bench]
 				d := set.DStats(p.Banks, p.Ways)
 				if p.VictimEntries > 0 {
 					d = set.DVictimStats(fp)
@@ -470,15 +486,25 @@ func DesignspaceJob(o Options) sweep.Job {
 				return gPairs[a].bi < gPairs[b].bi
 			})
 		}
+		// The GSPN inputs are fully determined by the per-point device,
+		// the rates (budget + bench, both in key or name), the run
+		// length, and the seed — the family's other registered points
+		// never reach this stage, so the key omits the axes fingerprint
+		// and refinement re-runs with wider axes still hit.
+		gspnK := newKeyer("designspace/gspn", o,
+			fmt.Sprintf("budget=%d", o.Budget), fmt.Sprintf("gspn=%d", o.GSPNInstr))
 		gUnits := make([]sweep.Unit, len(gPairs))
 		for gi, pr := range gPairs {
 			p := lat.points[pr.i]
 			fp := workload.FamilyPoint{Banks: p.Banks, Ways: p.Ways, VictimEntries: p.VictimEntries}
 			dev := lat.devs[pr.i]
 			bench := designspaceBenches[pr.bi]
+			uname := fmt.Sprintf("designspace/gspn/%s/%s", p, bench)
 			gUnits[gi] = sweep.Unit{
-				Name: fmt.Sprintf("designspace/gspn/%s/%s", p, bench),
-				Seed: o.Seed,
+				Name:  uname,
+				Seed:  o.Seed,
+				Key:   gspnK.key(uname, o.Seed, gspnCodec.schema(), "pdev="+deviceHash(dev)),
+				Codec: gspnCodec,
 				Run: func() (interface{}, error) {
 					rates := meas[p.ColumnBytes][bench].Rates(fp)
 					return cpumodel.Evaluate(cpumodel.ConfigFor(dev), rates, o.GSPNInstr, o.Seed)
@@ -487,7 +513,7 @@ func DesignspaceJob(o Options) sweep.Job {
 		}
 		gJob := sweep.Job{Name: "designspace/gspn", Units: gUnits,
 			Assemble: func(ps []interface{}) (interface{}, error) { return ps, nil }}
-		eng := &sweep.Engine{Workers: o.Workers}
+		eng := &sweep.Engine{Workers: o.Workers, Cache: o.ResultCache}
 		gv, err := eng.RunJob(gJob)
 		if err != nil {
 			return nil, err

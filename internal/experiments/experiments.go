@@ -65,6 +65,12 @@ type Options struct {
 	// accounting (the iramsim -metrics flag). Nil costs one pointer
 	// check at each publication site and changes no experiment output.
 	Obs *obs.Registry
+	// ResultCache, when non-nil, is consulted by nested sweeps some
+	// experiments fan out from their assembly step (the designspace
+	// GSPN stage). The CLI sets it alongside the top-level engine's
+	// cache from -result-cache; cached and uncached runs produce
+	// byte-identical output.
+	ResultCache sweep.ResultCache
 }
 
 // Device returns the integrated device the experiments run against.
@@ -220,12 +226,15 @@ func Fig7(o Options, ms *MeasurementSet) (*Fig7Result, error) {
 
 // Fig7Job enumerates Figure 7 as one unit per workload.
 func Fig7Job(o Options, ms *MeasurementSet) sweep.Job {
+	k := newKeyer("fig7", o, fmt.Sprintf("budget=%d", o.Budget))
 	ws := workload.All()
 	units := make([]sweep.Unit, len(ws))
 	for i, w := range ws {
 		units[i] = sweep.Unit{
-			Name: "fig7/" + w.Name,
-			Run:  func() (interface{}, error) { return fig7Row(ms, w) },
+			Name:  "fig7/" + w.Name,
+			Key:   k.key("fig7/"+w.Name, 0, fig7Codec.schema()),
+			Codec: fig7Codec,
+			Run:   func() (interface{}, error) { return fig7Row(ms, w) },
 		}
 	}
 	return sweep.Job{Name: "fig7", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
@@ -298,12 +307,15 @@ func Fig8(o Options, ms *MeasurementSet) (*Fig8Result, error) {
 
 // Fig8Job enumerates Figure 8 as one unit per workload.
 func Fig8Job(o Options, ms *MeasurementSet) sweep.Job {
+	k := newKeyer("fig8", o, fmt.Sprintf("budget=%d", o.Budget))
 	ws := workload.All()
 	units := make([]sweep.Unit, len(ws))
 	for i, w := range ws {
 		units[i] = sweep.Unit{
-			Name: "fig8/" + w.Name,
-			Run:  func() (interface{}, error) { return fig8Row(ms, w) },
+			Name:  "fig8/" + w.Name,
+			Key:   k.key("fig8/"+w.Name, 0, fig8Codec.schema()),
+			Codec: fig8Codec,
+			Run:   func() (interface{}, error) { return fig8Row(ms, w) },
 		}
 	}
 	return sweep.Job{Name: "fig8", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
@@ -396,13 +408,17 @@ func Table34Job(o Options, ms *MeasurementSet, victim bool) sweep.Job {
 	if victim {
 		name = "table4"
 	}
+	k := newKeyer(name, o,
+		fmt.Sprintf("budget=%d", o.Budget), fmt.Sprintf("gspn=%d", o.GSPNInstr))
 	ws := workload.Spec()
 	units := make([]sweep.Unit, len(ws))
 	for i, w := range ws {
 		units[i] = sweep.Unit{
-			Name: name + "/" + w.Name,
-			Seed: o.Seed,
-			Run:  func() (interface{}, error) { return cpiRow(o, ms, w, victim) },
+			Name:  name + "/" + w.Name,
+			Seed:  o.Seed,
+			Key:   k.key(name+"/"+w.Name, o.Seed, cpiCodec.schema()),
+			Codec: cpiCodec,
+			Run:   func() (interface{}, error) { return cpiRow(o, ms, w, victim) },
 		}
 	}
 	return sweep.Job{Name: name, Units: units, Assemble: func(parts []interface{}) (interface{}, error) {

@@ -46,12 +46,16 @@ func Fig11(o Options, ms *MeasurementSet) (*LatencyResult, error) {
 // Fig11Job enumerates Figure 11 as one unit per benchmark; each unit
 // runs that benchmark's full latency grid through the GSPN.
 func Fig11Job(o Options, ms *MeasurementSet) sweep.Job {
+	k := newKeyer("fig11", o,
+		fmt.Sprintf("budget=%d", o.Budget), fmt.Sprintf("gspn=%d", o.GSPNInstr))
 	units := make([]sweep.Unit, len(fig1112Benches))
 	for i, name := range fig1112Benches {
 		units[i] = sweep.Unit{
-			Name: "fig11/" + name,
-			Seed: o.Seed,
-			Run:  func() (interface{}, error) { return fig11Bench(o, ms, name) },
+			Name:  "fig11/" + name,
+			Seed:  o.Seed,
+			Key:   k.key("fig11/"+name, o.Seed, latencyCodec.schema()),
+			Codec: latencyCodec,
+			Run:   func() (interface{}, error) { return fig11Bench(o, ms, name) },
 		}
 	}
 	return sweep.Job{Name: "fig11", Units: units,
@@ -112,12 +116,16 @@ func Fig12(o Options, ms *MeasurementSet) (*LatencyResult, error) {
 
 // Fig12Job enumerates Figure 12 as one unit per benchmark.
 func Fig12Job(o Options, ms *MeasurementSet) sweep.Job {
+	k := newKeyer("fig12", o,
+		fmt.Sprintf("budget=%d", o.Budget), fmt.Sprintf("gspn=%d", o.GSPNInstr))
 	units := make([]sweep.Unit, len(fig1112Benches))
 	for i, name := range fig1112Benches {
 		units[i] = sweep.Unit{
-			Name: "fig12/" + name,
-			Seed: o.Seed,
-			Run:  func() (interface{}, error) { return fig12Bench(o, ms, name) },
+			Name:  "fig12/" + name,
+			Seed:  o.Seed,
+			Key:   k.key("fig12/"+name, o.Seed, latencyCodec.schema()),
+			Codec: latencyCodec,
+			Run:   func() (interface{}, error) { return fig12Bench(o, ms, name) },
 		}
 	}
 	return sweep.Job{Name: "fig12", Units: units,
@@ -213,20 +221,28 @@ func Banks(o Options, ms *MeasurementSet) (*BankResult, error) {
 // (benchmark, system, bank count) ensemble — the 5-seed Monte-Carlo
 // evaluations are the expensive part and they are all independent.
 func BanksJob(o Options, ms *MeasurementSet) sweep.Job {
+	k := newKeyer("banks", o,
+		fmt.Sprintf("budget=%d", o.Budget), fmt.Sprintf("gspn=%d", o.GSPNInstr))
 	var units []sweep.Unit
 	for _, name := range []string{"126.gcc", "102.swim"} {
 		for _, b := range []int{4, 8, 16} {
+			uname := fmt.Sprintf("banks/%s/integrated/%d", name, b)
 			units = append(units, sweep.Unit{
-				Name: fmt.Sprintf("banks/%s/integrated/%d", name, b),
-				Seed: o.Seed,
-				Run:  func() (interface{}, error) { return bankRow(o, ms, name, true, b) },
+				Name:  uname,
+				Seed:  o.Seed,
+				Key:   k.key(uname, o.Seed, bankCodec.schema()),
+				Codec: bankCodec,
+				Run:   func() (interface{}, error) { return bankRow(o, ms, name, true, b) },
 			})
 		}
 		for _, b := range []int{2, 4, 8} {
+			uname := fmt.Sprintf("banks/%s/conventional/%d", name, b)
 			units = append(units, sweep.Unit{
-				Name: fmt.Sprintf("banks/%s/conventional/%d", name, b),
-				Seed: o.Seed,
-				Run:  func() (interface{}, error) { return bankRow(o, ms, name, false, b) },
+				Name:  uname,
+				Seed:  o.Seed,
+				Key:   k.key(uname, o.Seed, bankCodec.schema()),
+				Codec: bankCodec,
+				Run:   func() (interface{}, error) { return bankRow(o, ms, name, false, b) },
 			})
 		}
 	}
@@ -319,12 +335,15 @@ func Table1(o Options) (*Table1Result, error) {
 // Table1Job enumerates Table 1 as one unit per machine model; the
 // relative column needs both estimates, so it is computed at assembly.
 func Table1Job(o Options) sweep.Job {
+	k := newKeyer("table1", o, fmt.Sprintf("budget=%d", o.Budget))
 	builders := []func() *memsys.Hierarchy{memsys.SS5, memsys.SS10}
 	labels := []string{"ss5", "ss10"}
 	units := make([]sweep.Unit, len(builders))
 	for i, build := range builders {
 		units[i] = sweep.Unit{
-			Name: "table1/" + labels[i],
+			Name:  "table1/" + labels[i],
+			Key:   k.key("table1/"+labels[i], 0, estimateCodec.schema()),
+			Codec: estimateCodec,
 			Run: func() (interface{}, error) {
 				return table1Estimate(o, build())
 			},
@@ -545,13 +564,16 @@ func Mattson(o Options) (*MattsonResult, error) {
 // MattsonJob enumerates the miss-ratio-curve study as one unit per
 // workload: one execution, one stack-distance profile, eleven sizes.
 func MattsonJob(o Options) sweep.Job {
+	k := newKeyer("mattson", o, fmt.Sprintf("budget=%d", o.Budget))
 	ws := workload.All()
 	units := make([]sweep.Unit, len(ws))
 	for i, w := range ws {
 		w := w
 		units[i] = sweep.Unit{
-			Name: "mattson/" + w.Name,
-			Run:  func() (interface{}, error) { return mattsonRow(o, w) },
+			Name:  "mattson/" + w.Name,
+			Key:   k.key("mattson/"+w.Name, 0, mattsonCodec.schema()),
+			Codec: mattsonCodec,
+			Run:   func() (interface{}, error) { return mattsonRow(o, w) },
 		}
 	}
 	return sweep.Job{Name: "mattson", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {

@@ -80,11 +80,15 @@ func SplashNameJob(o Options, jobName, bench string) sweep.Job {
 		coherence.IntegratedPlain,
 		coherence.IntegratedVictim,
 	}
+	k := newKeyer(jobName, o, fmt.Sprintf("mpquick=%v", o.MPQuick))
 	var units []sweep.Unit
 	for _, np := range o.Procs {
 		for _, cfg := range configs {
+			uname := fmt.Sprintf("%s/%s/p=%d/%s", jobName, bench, np, cfg)
 			units = append(units, sweep.Unit{
-				Name: fmt.Sprintf("%s/%s/p=%d/%s", jobName, bench, np, cfg),
+				Name:  uname,
+				Key:   k.key(uname, 0, splashCodec.schema()),
+				Codec: splashCodec,
 				Run: func() (interface{}, error) {
 					b, err := splash.ByName(bench)
 					if err != nil {
@@ -224,12 +228,16 @@ func SCOMAJob(o Options) sweep.Job {
 	if o.MPQuick {
 		sz = splash.Quick()
 	}
+	k := newKeyer("scoma", o, fmt.Sprintf("mpquick=%v", o.MPQuick))
 	benches := splash.All()
 	var units []sweep.Unit
 	for _, b := range benches {
 		for _, cfg := range scomaConfigs {
+			uname := fmt.Sprintf("scoma/%s/%s", b.Name, cfg)
 			units = append(units, sweep.Unit{
-				Name: fmt.Sprintf("scoma/%s/%s", b.Name, cfg),
+				Name:  uname,
+				Key:   k.key(uname, 0, cyclesCodec.schema()),
+				Codec: cyclesCodec,
 				Run: func() (interface{}, error) {
 					prop := o.Device()
 					m := coherence.NewConfiguredMachineDevices(cfg, procs,

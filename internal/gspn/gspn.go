@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // PlaceID identifies a place within its Net.
@@ -91,6 +92,39 @@ type Net struct {
 	places []place
 	trans  []transition
 	sealed bool
+
+	// dep[p] lists the timed transitions whose enabling condition reads
+	// place p (an input or inhibitor arc), ascending and deduplicated.
+	// Built once on first NewSim; it lets a Sim reschedule only the
+	// transitions a firing could have affected instead of rescanning
+	// every transition per event (the dominant cost of large nets).
+	sealOnce sync.Once
+	dep      [][]TransID
+}
+
+// seal freezes the net and derives the place -> dependent-timed-
+// transitions adjacency. Iterating transitions in ascending id keeps
+// every dep list ascending, which the incremental reschedule relies on
+// to sample newly enabled transitions in the same order as a full
+// scan (RNG-stream equivalence).
+func (n *Net) seal() {
+	n.sealed = true
+	n.dep = make([][]TransID, len(n.places))
+	for ti := range n.trans {
+		tr := &n.trans[ti]
+		if tr.kind == Immediate {
+			continue
+		}
+		seen := make(map[PlaceID]bool, len(tr.in)+len(tr.inhibit))
+		for _, arcs := range [][]arc{tr.in, tr.inhibit} {
+			for _, a := range arcs {
+				if !seen[a.place] {
+					seen[a.place] = true
+					n.dep[a.place] = append(n.dep[a.place], TransID(ti))
+				}
+			}
+		}
+	}
 }
 
 // NewNet returns an empty net.
@@ -202,11 +236,18 @@ type Sim struct {
 	firings []int64
 	tokTime []float64 // ∫ marking dt per place
 	lastT   float64
+
+	touched  []PlaceID // places whose marking changed since last reschedule
+	affected []TransID // scratch for rescheduleAffected
+	// fullRescan forces the O(transitions) reference reschedule after
+	// every firing — the pre-adjacency behaviour, kept as the oracle the
+	// incremental path is pinned against (see TestRescheduleEquivalence).
+	fullRescan bool
 }
 
 // NewSim creates a simulation of the net with the given random seed.
 func NewSim(n *Net, seed int64) *Sim {
-	n.sealed = true
+	n.sealOnce.Do(n.seal)
 	s := &Sim{
 		net:     n,
 		rng:     rand.New(rand.NewSource(seed)),
@@ -258,35 +299,89 @@ func (s *Sim) enabled(t TransID) bool {
 	return true
 }
 
-// fire consumes and produces tokens for transition t.
+// fire consumes and produces tokens for transition t, recording the
+// places it changed for the next incremental reschedule.
 func (s *Sim) fire(t TransID) {
 	tr := &s.net.trans[t]
 	for _, a := range tr.in {
 		s.marking[a.place] -= a.mult
+		s.touched = append(s.touched, a.place)
 	}
 	for _, a := range tr.out {
 		s.marking[a.place] += a.mult
+		s.touched = append(s.touched, a.place)
 	}
 	s.firings[t]++
 }
 
 // reschedule re-derives timed-transition schedules after a marking
 // change: newly enabled transitions sample a firing time, disabled ones
-// are cancelled.
+// are cancelled. This is the full O(transitions) scan; the hot path
+// uses rescheduleAffected, which visits only the transitions a firing
+// could have touched and is pinned RNG-for-RNG against this one.
 func (s *Sim) reschedule() {
 	for i := range s.net.trans {
 		tr := &s.net.trans[i]
 		if tr.kind == Immediate {
 			continue
 		}
-		en := s.enabled(TransID(i))
-		switch {
-		case en && math.IsInf(s.sched[i], 1):
-			s.sched[i] = s.now + s.sample(tr)
-		case !en && !math.IsInf(s.sched[i], 1):
-			s.sched[i] = math.Inf(1)
+		s.applySchedule(TransID(i), tr)
+	}
+}
+
+// applySchedule is the per-transition reschedule step shared by the
+// full and incremental paths: sample when newly enabled, cancel when
+// newly disabled.
+func (s *Sim) applySchedule(t TransID, tr *transition) {
+	en := s.enabled(t)
+	switch {
+	case en && math.IsInf(s.sched[t], 1):
+		s.sched[t] = s.now + s.sample(tr)
+	case !en && !math.IsInf(s.sched[t], 1):
+		s.sched[t] = math.Inf(1)
+	}
+}
+
+// rescheduleAffected is the incremental reschedule: only transitions
+// with an input or inhibitor arc on a place the last firing changed can
+// have flipped their enabling, so only dep(touched places) — plus the
+// just-fired timed transition itself (fired >= 0), which must resample
+// even when it has no input arcs at all (a source transition is in no
+// dep list) — need revisiting. Candidates are processed in ascending
+// id order after deduplication, so the exponential transitions that
+// sample here consume the RNG stream in exactly the order the full
+// rescan would: identical firings and markings for a fixed seed.
+func (s *Sim) rescheduleAffected(fired TransID) {
+	if s.fullRescan || s.net.dep == nil {
+		s.touched = s.touched[:0]
+		s.reschedule()
+		return
+	}
+	aff := s.affected[:0]
+	for _, p := range s.touched {
+		aff = append(aff, s.net.dep[p]...)
+	}
+	s.touched = s.touched[:0]
+	if fired >= 0 && s.net.trans[fired].kind != Immediate {
+		aff = append(aff, fired)
+	}
+	// Insertion sort: the affected sets of the cpumodel nets are a
+	// handful of entries, and sort.Slice would allocate its closure on
+	// every event.
+	for i := 1; i < len(aff); i++ {
+		for j := i; j > 0 && aff[j] < aff[j-1]; j-- {
+			aff[j], aff[j-1] = aff[j-1], aff[j]
 		}
 	}
+	prev := TransID(-1)
+	for _, t := range aff {
+		if t == prev {
+			continue
+		}
+		prev = t
+		s.applySchedule(t, &s.net.trans[t])
+	}
+	s.affected = aff[:0]
 }
 
 func (s *Sim) sample(tr *transition) float64 {
@@ -335,7 +430,7 @@ func (s *Sim) settleImmediates() error {
 				break
 			}
 		}
-		s.reschedule()
+		s.rescheduleAffected(-1)
 	}
 }
 
@@ -373,7 +468,7 @@ func (s *Sim) Step() error {
 	s.now = bestT
 	s.sched[best] = math.Inf(1)
 	s.fire(TransID(best))
-	s.reschedule()
+	s.rescheduleAffected(TransID(best))
 	// Settle any immediates enabled by the firing so observers always
 	// see tangible markings.
 	return s.settleImmediates()

@@ -341,3 +341,140 @@ func TestBuilderPanics(t *testing.T) {
 		}()
 	}
 }
+
+// buildMixedNet is a synthetic net exercising everything the
+// incremental reschedule must handle: an exponential source transition
+// with no input arcs (in no dependency list — only the fired-transition
+// rule reschedules it), deterministic servers, an inhibitor arc,
+// weighted immediate conflicts, and a higher-priority immediate class.
+func buildMixedNet() *Net {
+	n := NewNet()
+	q := n.Place("q", 1)
+	done := n.Place("done", 0)
+	a := n.Place("a", 0)
+	bp := n.Place("b", 0)
+	maint := n.Place("maint", 0)
+
+	src := n.Exponential("src", 1.0) // source: no inputs at all
+	n.Out(src, q, 1)
+
+	srv := n.Timed("srv", 0.8)
+	n.In(srv, q, 1)
+	n.Out(srv, done, 1)
+	n.Inhibit(srv, maint, 2)
+
+	ta := n.Immediate("ta", 3, 0)
+	n.In(ta, done, 1)
+	n.Out(ta, a, 1)
+	tb := n.Immediate("tb", 1, 0)
+	n.In(tb, done, 1)
+	n.Out(tb, bp, 1)
+
+	tc := n.Immediate("tc", 1, 1) // higher priority: pairs of b -> maint
+	n.In(tc, bp, 2)
+	n.Out(tc, maint, 1)
+
+	mend := n.Exponential("mend", 0.5)
+	n.In(mend, maint, 1)
+	n.Out(mend, a, 1)
+
+	drain := n.Timed("drain", 2.0)
+	n.In(drain, a, 3)
+	return n
+}
+
+// TestRescheduleEquivalence pins the incremental (adjacency-driven)
+// reschedule against the full-rescan reference path: for a fixed seed
+// the two must produce identical firing counts, markings, and clocks
+// at every step — the exponential samples must consume the shared RNG
+// stream in exactly the same order.
+func TestRescheduleEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		fast := NewSim(buildMixedNet(), seed)
+		ref := NewSim(buildMixedNet(), seed)
+		ref.fullRescan = true
+		for step := 0; step < 2000; step++ {
+			errFast, errRef := fast.Step(), ref.Step()
+			if (errFast == nil) != (errRef == nil) {
+				t.Fatalf("seed %d step %d: incremental err=%v, full-rescan err=%v",
+					seed, step, errFast, errRef)
+			}
+			if errFast != nil {
+				break
+			}
+			if fast.Now() != ref.Now() {
+				t.Fatalf("seed %d step %d: clock %v != %v", seed, step, fast.Now(), ref.Now())
+			}
+			for i := 0; i < fast.net.NumTrans(); i++ {
+				if fast.Firings(TransID(i)) != ref.Firings(TransID(i)) {
+					t.Fatalf("seed %d step %d: firings(%s) %d != %d", seed, step,
+						fast.net.TransName(TransID(i)),
+						fast.Firings(TransID(i)), ref.Firings(TransID(i)))
+				}
+			}
+			for i := 0; i < fast.net.NumPlaces(); i++ {
+				if fast.Marking(PlaceID(i)) != ref.Marking(PlaceID(i)) {
+					t.Fatalf("seed %d step %d: marking(%s) %d != %d", seed, step,
+						fast.net.PlaceName(PlaceID(i)),
+						fast.Marking(PlaceID(i)), ref.Marking(PlaceID(i)))
+				}
+			}
+		}
+	}
+}
+
+// TestSharedNetConcurrentSims: one Net backing many Sims is the
+// documented usage; the lazily built adjacency must be race-free.
+func TestSharedNetConcurrentSims(t *testing.T) {
+	n := buildMixedNet()
+	results := make([]float64, 8)
+	donech := make(chan struct{})
+	for i := range results {
+		go func(i int) {
+			defer func() { donech <- struct{}{} }()
+			s := NewSim(n, 7)
+			for step := 0; step < 500; step++ {
+				if err := s.Step(); err != nil {
+					t.Errorf("sim %d: %v", i, err)
+					return
+				}
+			}
+			results[i] = s.Now()
+		}(i)
+	}
+	for range results {
+		<-donech
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Errorf("sim %d diverged: clock %v != %v", i, r, results[0])
+		}
+	}
+}
+
+// BenchmarkSimStep measures the per-event cost of the simulator loop
+// with the incremental reschedule (the default path).
+func BenchmarkSimStep(b *testing.B) {
+	s := NewSim(buildMixedNet(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimStepFullRescan is the same loop on the full-rescan
+// reference path, so the adjacency win is visible in one bench diff.
+func BenchmarkSimStepFullRescan(b *testing.B) {
+	s := NewSim(buildMixedNet(), 1)
+	s.fullRescan = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

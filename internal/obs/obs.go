@@ -178,6 +178,17 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add adjusts the gauge by delta and returns the new value (0 on nil).
+// It makes a gauge usable as a shared live counter — e.g. outstanding
+// sweep units across concurrently running engines — where last-value
+// Set semantics would lose updates.
+func (g *Gauge) Add(delta int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(delta)
+}
+
 // SetMax raises the gauge to v if v is larger (high-water marks).
 func (g *Gauge) SetMax(v int64) {
 	if g == nil {

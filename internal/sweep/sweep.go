@@ -34,15 +34,51 @@ import (
 // single-flight measurement cache in internal/experiments).
 type Unit struct {
 	// Name labels the unit in progress and error reports
-	// (e.g. "fig13/p=4/integrated + victim").
+	// (e.g. "fig13/p=4/integrated + victim"). Unit names are cache-key
+	// components (see Key): renaming a unit IS a cache invalidation,
+	// deliberately — a rename usually accompanies a semantic change,
+	// and a spurious miss only costs recomputation.
 	Name string
 	// Seed is the unit's explicit random seed (0 when the unit is
 	// fully deterministic). It is informational here — the Run closure
 	// must already incorporate it — but carrying it on the unit keeps
-	// the seed assignment auditable and scheduling-independent.
+	// the seed assignment auditable and scheduling-independent. Like
+	// Name, it is a cache-key component.
 	Seed int64
 	// Run computes the unit's partial result.
 	Run func() (interface{}, error)
+	// Key, when non-empty, content-addresses the unit's result: an
+	// engine with a Cache consults it before calling Run and commits
+	// the encoded result after. The key must cover every input Run's
+	// value depends on (device hash, experiment, unit name, params,
+	// seed, result schema version — see internal/experiments); two
+	// units may share a key only if their results are byte-identical.
+	// Empty means never cached.
+	Key string
+	// Codec encodes Run's result for the cache and decodes it back.
+	// Required (along with Key) for the unit to be cacheable.
+	Codec Codec
+}
+
+// Codec translates one unit-result type to and from cacheable bytes.
+// Decode must return a value of the exact dynamic type Run produces —
+// job Assemble steps type-assert on it — and must fail (not guess) on
+// payloads written by another type or schema version; the engine
+// treats any decode error as a miss and recomputes.
+type Codec interface {
+	Encode(v interface{}) ([]byte, error)
+	Decode(data []byte) (interface{}, error)
+}
+
+// ResultCache is the on-disk result store seam (implemented by
+// internal/resultstore): opaque keys to opaque payloads. Get reports a
+// miss — never an error — for any absent or invalid entry; Put
+// replaces atomically; Acquire single-flights in-process work per key
+// so concurrent units sharing a key compute once.
+type ResultCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+	Acquire(key string) (release func())
 }
 
 // Job is one experiment: an ordered list of units plus an assembly
@@ -91,6 +127,68 @@ type Engine struct {
 	// Trace, when non-nil, records one unit_start/unit_done (or
 	// unit_skipped/unit_failed) event per unit into per-worker shards.
 	Trace *obs.Tracer
+	// Cache, when non-nil, memoizes unit results on disk: units
+	// carrying a Key and a Codec decode a stored result instead of
+	// running, and commit their result after running. Metrics appear
+	// under the "resultcache" family. Store failures are non-fatal —
+	// a broken cache degrades to recomputation, never to an error.
+	Cache ResultCache
+}
+
+// cacheCounters holds the resolved "resultcache" metric handles; all
+// nil-safe no-ops when the engine has no registry.
+type cacheCounters struct {
+	hits, misses, stores           *obs.Counter
+	bytesRead, bytesWritten        *obs.Counter
+	decodeFailures, encodeFailures *obs.Counter
+}
+
+func (e *Engine) cacheCounters() cacheCounters {
+	return cacheCounters{
+		hits:           e.Obs.Counter("resultcache", "hits"),
+		misses:         e.Obs.Counter("resultcache", "misses"),
+		stores:         e.Obs.Counter("resultcache", "stores"),
+		bytesRead:      e.Obs.Counter("resultcache", "bytes_read"),
+		bytesWritten:   e.Obs.Counter("resultcache", "bytes_written"),
+		decodeFailures: e.Obs.Counter("resultcache", "decode_failures"),
+		encodeFailures: e.Obs.Counter("resultcache", "encode_failures"),
+	}
+}
+
+// execUnit runs one unit through the result cache when the unit is
+// cacheable, otherwise directly. Acquire single-flights the key for
+// the whole lookup-or-compute-and-store span, so N concurrent units
+// sharing a key cost one computation and N-1 decodes.
+func (e *Engine) execUnit(u *Unit, cc *cacheCounters) (interface{}, error) {
+	if e.Cache == nil || u.Key == "" || u.Codec == nil {
+		return u.Run()
+	}
+	release := e.Cache.Acquire(u.Key)
+	defer release()
+	if data, ok := e.Cache.Get(u.Key); ok {
+		cc.bytesRead.Add(int64(len(data)))
+		if v, err := u.Codec.Decode(data); err == nil {
+			cc.hits.Inc()
+			return v, nil
+		}
+		// Stale schema, foreign type, or garbled gob: recompute and
+		// overwrite. Never an error, never a wrong result.
+		cc.decodeFailures.Inc()
+	}
+	cc.misses.Inc()
+	v, err := u.Run()
+	if err != nil {
+		return nil, err
+	}
+	if data, encErr := u.Codec.Encode(v); encErr == nil {
+		if e.Cache.Put(u.Key, data) == nil {
+			cc.stores.Inc()
+			cc.bytesWritten.Add(int64(len(data)))
+		}
+	} else {
+		cc.encodeFailures.Inc()
+	}
+	return v, nil
 }
 
 // errCanceled marks units skipped after the first failure.
@@ -127,12 +225,6 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 		workers = len(tasks)
 	}
 
-	taskCh := make(chan task, len(tasks))
-	for _, t := range tasks {
-		taskCh <- t
-	}
-	close(taskCh)
-
 	// Metric handles are resolved once here; all of them are nil-safe
 	// no-ops when e.Obs / e.Trace are nil.
 	cCompleted := e.Obs.Counter("sweep", "units_completed")
@@ -140,10 +232,24 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 	cSkipped := e.Obs.Counter("sweep", "units_skipped")
 	cEmitted := e.Obs.Counter("sweep", "jobs_emitted")
 	rJob := e.Obs.Running("sweep", "job_seconds")
+	gQueue := e.Obs.Gauge("sweep", "queue_depth")
 	gQueueMax := e.Obs.Gauge("sweep", "queue_depth_max")
 	e.Obs.Gauge("sweep", "workers").Set(int64(workers))
 	e.Obs.Counter("sweep", "units_total").Add(int64(len(tasks)))
-	gQueueMax.SetMax(int64(len(tasks)))
+	cc := e.cacheCounters()
+
+	// queue_depth tracks outstanding (queued + running) units live and
+	// queue_depth_max is its high-water mark: it rises as tasks are
+	// submitted below and falls as completions drain, so it reads as
+	// the largest concurrent batch across every Run sharing a registry
+	// (e.g. a design-space search's nested GSPN stage) and returns to
+	// zero when all sweeps are done.
+	taskCh := make(chan task, len(tasks))
+	for _, t := range tasks {
+		taskCh <- t
+		gQueueMax.SetMax(gQueue.Add(1))
+	}
+	close(taskCh)
 
 	doneCh := make(chan completion, workers+1)
 	var stop atomic.Bool
@@ -170,7 +276,7 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 				}
 				shards[w].Emit("unit_start", jobs[t.job].Units[t.unit].Name, int64(t.job), int64(t.unit))
 				start := time.Now()
-				v, err := jobs[t.job].Units[t.unit].Run()
+				v, err := e.execUnit(&jobs[t.job].Units[t.unit], &cc)
 				d := time.Since(start)
 				durs[w].Add(d.Seconds())
 				if err != nil {
@@ -226,6 +332,7 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 	for range tasks {
 		c := <-doneCh
 		completed++
+		gQueue.Add(-1)
 		switch {
 		case c.err == nil:
 			parts[c.t.job][c.t.unit] = c.val

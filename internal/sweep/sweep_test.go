@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -333,5 +334,228 @@ func TestEngineObs(t *testing.T) {
 	}
 	if got := strings.Count(trace.String(), "unit_done"); got != 5 {
 		t.Errorf("unit_done events = %d, want 5:\n%s", got, trace.String())
+	}
+}
+
+// mapCache is an in-memory ResultCache for engine tests.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	held map[string]bool
+	// overlap is set if two holders ever acquire one key concurrently.
+	overlap bool
+}
+
+func newMapCache() *mapCache {
+	return &mapCache{m: map[string][]byte{}, held: map[string]bool{}}
+}
+
+func (c *mapCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	return b, ok
+}
+
+func (c *mapCache) Put(key string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (c *mapCache) Acquire(key string) func() {
+	for {
+		c.mu.Lock()
+		if !c.held[key] {
+			c.held[key] = true
+			c.mu.Unlock()
+			return func() {
+				c.mu.Lock()
+				c.held[key] = false
+				c.mu.Unlock()
+			}
+		}
+		c.overlap = true
+		c.mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// intCodec encodes ints as decimal strings.
+type intCodec struct{}
+
+func (intCodec) Encode(v interface{}) ([]byte, error) {
+	return []byte(fmt.Sprintf("%d", v.(int))), nil
+}
+
+func (intCodec) Decode(data []byte) (interface{}, error) {
+	var n int
+	if _, err := fmt.Sscanf(string(data), "%d", &n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// cachedJob builds a job of n keyed units that count their executions.
+func cachedJob(name string, n int, ran *int64) Job {
+	units := make([]Unit, n)
+	for i := range units {
+		i := i
+		units[i] = Unit{
+			Name:  fmt.Sprintf("%s/u%d", name, i),
+			Key:   fmt.Sprintf("%s-u%d-key", name, i),
+			Codec: intCodec{},
+			Run: func() (interface{}, error) {
+				atomic.AddInt64(ran, 1)
+				return i * i, nil
+			},
+		}
+	}
+	return Job{Name: name, Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		sum := 0
+		for _, p := range parts {
+			sum += p.(int)
+		}
+		return sum, nil
+	}}
+}
+
+// TestEngineCache: a cold run computes and stores every keyed unit; a
+// warm run decodes every one without calling Run, with identical
+// assembled values, and the resultcache metrics account for both.
+func TestEngineCache(t *testing.T) {
+	cache := newMapCache()
+	reg := obs.NewRegistry()
+	var ran int64
+
+	e := &Engine{Workers: 4, Cache: cache, Obs: reg}
+	cold, err := e.RunJob(cachedJob("c", 6, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 6 {
+		t.Fatalf("cold run executed %d units, want 6", ran)
+	}
+	for name, want := range map[string]int64{
+		"hits": 0, "misses": 6, "stores": 6, "decode_failures": 0,
+	} {
+		if got := reg.Counter("resultcache", name).Value(); got != want {
+			t.Errorf("cold resultcache/%s = %d, want %d", name, got, want)
+		}
+	}
+
+	warm, err := e.RunJob(cachedJob("c", 6, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 6 {
+		t.Errorf("warm run executed %d more units, want 0", ran-6)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm value %v != cold value %v", warm, cold)
+	}
+	if got := reg.Counter("resultcache", "hits").Value(); got != 6 {
+		t.Errorf("warm hits = %d, want 6", got)
+	}
+	if got := reg.Counter("resultcache", "bytes_read").Value(); got == 0 {
+		t.Error("bytes_read stayed 0 across a warm run")
+	}
+	if got := reg.Counter("resultcache", "bytes_written").Value(); got == 0 {
+		t.Error("bytes_written stayed 0 across a cold run")
+	}
+	if cache.overlap {
+		t.Error("two units held one key concurrently")
+	}
+}
+
+// TestEngineCacheDecodeFailure: a corrupt entry is a counted miss that
+// recomputes and heals the cache — never an error, never a wrong value.
+func TestEngineCacheDecodeFailure(t *testing.T) {
+	cache := newMapCache()
+	reg := obs.NewRegistry()
+	var ran int64
+
+	e := &Engine{Workers: 2, Cache: cache, Obs: reg}
+	if _, err := e.RunJob(cachedJob("d", 3, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	for k := range cache.m {
+		cache.m[k] = []byte("not a number")
+	}
+	v, err := e.RunJob(cachedJob("d", 3, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 0+1+4 {
+		t.Errorf("value after corruption = %v, want 5", v)
+	}
+	if ran != 6 {
+		t.Errorf("corrupt entries recomputed %d units, want 3", ran-3)
+	}
+	if got := reg.Counter("resultcache", "decode_failures").Value(); got != 3 {
+		t.Errorf("decode_failures = %d, want 3", got)
+	}
+	// The recompute overwrote the corrupt entries: a third run hits.
+	if _, err := e.RunJob(cachedJob("d", 3, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 6 {
+		t.Errorf("run after heal executed %d more units, want 0", ran-6)
+	}
+}
+
+// TestEngineCacheUnkeyedUnits: units without Key or Codec bypass the
+// cache entirely.
+func TestEngineCacheUnkeyedUnits(t *testing.T) {
+	cache := newMapCache()
+	var ran int64
+	mk := func() Job {
+		return Job{Name: "u", Units: []Unit{{
+			Name: "u/plain",
+			Run: func() (interface{}, error) {
+				atomic.AddInt64(&ran, 1)
+				return 7, nil
+			},
+		}}, Assemble: func(parts []interface{}) (interface{}, error) { return parts[0], nil }}
+	}
+	e := &Engine{Workers: 1, Cache: cache}
+	for i := 0; i < 2; i++ {
+		if _, err := e.RunJob(mk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ran != 2 {
+		t.Errorf("unkeyed unit ran %d times, want 2 (no caching)", ran)
+	}
+	if len(cache.m) != 0 {
+		t.Errorf("unkeyed unit stored %d entries", len(cache.m))
+	}
+}
+
+// TestQueueDepth: queue_depth_max records the true high-water mark of
+// outstanding units (not a one-shot len(tasks) stamp) and queue_depth
+// drains back to zero; a smaller later run on the same registry leaves
+// the mark at the larger batch.
+func TestQueueDepth(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := &Engine{Workers: 2, Obs: reg}
+	if err := e.Run([]Job{slowFirst("big", 5)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("sweep", "queue_depth_max").Value(); got != 5 {
+		t.Errorf("queue_depth_max = %d, want 5", got)
+	}
+	if got := reg.Gauge("sweep", "queue_depth").Value(); got != 0 {
+		t.Errorf("queue_depth after run = %d, want 0", got)
+	}
+	if err := e.Run([]Job{slowFirst("small", 2)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("sweep", "queue_depth_max").Value(); got != 5 {
+		t.Errorf("queue_depth_max after smaller run = %d, want 5 (high-water)", got)
+	}
+	if got := reg.Gauge("sweep", "queue_depth").Value(); got != 0 {
+		t.Errorf("queue_depth after second run = %d, want 0", got)
 	}
 }
