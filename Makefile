@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci fuzz trace-cache result-cache vet lint results quick-results results-check clean
+.PHONY: all build test race bench bench-figures bench-baseline bench-check bench-check-ci fuzz trace-cache result-cache cache-gc loadtest vet lint results quick-results results-check clean
 
 all: build vet test
 
@@ -77,6 +77,19 @@ trace-cache:
 RESULT_DIR ?= .result-cache
 result-cache:
 	$(GO) run ./cmd/iramsim -result-cache $(RESULT_DIR) all > /dev/null
+
+# Prune the result cache to a size cap (oldest entries evicted first;
+# every evicted entry regenerates on the next miss).
+CACHE_MAX_BYTES ?= 268435456
+cache-gc:
+	$(GO) run ./cmd/iramsim -result-cache $(RESULT_DIR) -result-cache-max-bytes $(CACHE_MAX_BYTES)
+
+# Self-contained iramsimd load test: warm the cache, then serve
+# LOADTEST_N concurrent overlapping requests entirely from cache while
+# a saturated probe server sheds load with 429s.
+LOADTEST_N ?= 8
+loadtest:
+	$(GO) run ./cmd/iramsimd -loadtest $(LOADTEST_N) -j 4
 
 # Regenerate every experiment at full fidelity (~15 serial minutes,
 # spread across all cores by default; see the iramsim -j flag).

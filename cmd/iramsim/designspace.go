@@ -2,8 +2,6 @@ package main
 
 import (
 	"fmt"
-	"io"
-	"os"
 	"strconv"
 	"strings"
 )
@@ -87,42 +85,4 @@ func parseRange(term string) (lo, hi, step int, geo bool, err error) {
 		return 0, 0, 0, false, fmt.Errorf("bad range step in %q", term)
 	}
 	return lo, hi, step, geo, nil
-}
-
-// frontierPath is the -ds-frontier flag: when set, any experiment
-// result that can export a Pareto frontier writes it here after
-// rendering. Like jsonMode, it is plumbed as a package variable so the
-// render path stays a pure function of the job results.
-var frontierPath string
-
-// frontierWriter is implemented by results with an exportable Pareto
-// frontier (the designspace search).
-type frontierWriter interface {
-	WriteFrontierJSON(io.Writer) error
-	WriteFrontierCSV(io.Writer) error
-}
-
-// exportFrontier honours -ds-frontier for one result; the format
-// follows the file extension (.csv = CSV, anything else JSON).
-func exportFrontier(v interface{}) error {
-	fw, ok := v.(frontierWriter)
-	if !ok || frontierPath == "" {
-		return nil
-	}
-	f, err := os.Create(frontierPath)
-	if err != nil {
-		return fmt.Errorf("ds-frontier: %w", err)
-	}
-	if strings.HasSuffix(frontierPath, ".csv") {
-		err = fw.WriteFrontierCSV(f)
-	} else {
-		err = fw.WriteFrontierJSON(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("ds-frontier: %w", err)
-	}
-	return nil
 }

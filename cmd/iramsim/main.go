@@ -23,16 +23,23 @@
 //	              pre-populate every workload's stream and exit
 //	-result-cache d   assembled-result cache dir (default .result-cache)
 //	-no-result-cache  disable the result cache entirely
+//	-result-cache-max-bytes N  prune the result cache to N bytes after the
+//	              run (oldest entries first); with no experiments, prune
+//	              and exit (`make cache-gc`)
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f on exit
 //	-metrics f    write simulator metrics (JSON) to f after the run
 //	-trace f      write the sweep event trace to f after the run
 //	-debug-addr a serve expvar/pprof/metrics on host:port while running
+//
+// All orchestration — experiment dispatch, cache wiring, engine
+// construction, rendering — lives in internal/runner; this command is
+// a flag-parsing client of runner.Run, and cmd/iramsimd serves the
+// same runs over HTTP.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,16 +49,11 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/cpumodel"
 	"repro/internal/experiments"
 	"repro/internal/obs"
-	"repro/internal/report"
 	"repro/internal/resultstore"
-	"repro/internal/selftest"
-	"repro/internal/sweep"
+	"repro/internal/runner"
 	"repro/internal/trace"
-	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -59,30 +61,36 @@ import (
 // (structured results for downstream plotting).
 var jsonMode bool
 
+// frontierPath is the -ds-frontier flag: when set, any experiment
+// result that can export a Pareto frontier is written there after
+// rendering.
+var frontierPath string
+
 // cliConfig gathers the parsed command-line flags.
 type cliConfig struct {
-	quick         bool
-	budget, seed  int64
-	procs         string
-	machine       string
-	workers       int
-	record        string
-	replay        string
-	traceDir      string
-	resultCache   string
-	noResultCache bool
-	dsBanks       string
-	dsColumns     string
-	dsWays        string
-	dsVictims     string
-	dsCoarse      int
-	dsRefine      int
-	dsFrontier    string
-	cpuprofile    string
-	memprofile    string
-	metrics       string
-	trace         string
-	debugAddr     string
+	quick          bool
+	budget, seed   int64
+	procs          string
+	machine        string
+	workers        int
+	record         string
+	replay         string
+	traceDir       string
+	resultCache    string
+	noResultCache  bool
+	cacheMaxBytes  int64
+	dsBanks        string
+	dsColumns      string
+	dsWays         string
+	dsVictims      string
+	dsCoarse       int
+	dsRefine       int
+	dsFrontier     string
+	cpuprofile     string
+	memprofile     string
+	metrics        string
+	traceOut       string
+	debugAddr      string
 }
 
 func main() {
@@ -99,6 +107,7 @@ func main() {
 	flag.StringVar(&c.record, "record", "", "re-record workload traces into this cache dir; with no experiments, pre-populate every workload and exit")
 	flag.StringVar(&c.resultCache, "result-cache", ".result-cache", "assembled-result cache dir (content-addressed; warm reruns decode instead of simulating)")
 	flag.BoolVar(&c.noResultCache, "no-result-cache", false, "disable the result cache (every unit recomputes)")
+	flag.Int64Var(&c.cacheMaxBytes, "result-cache-max-bytes", 0, "prune the result cache to this many bytes after the run, oldest entries first (0 = never; with no experiments, prune and exit)")
 	flag.StringVar(&c.dsBanks, "ds-banks", "", "designspace banks axis: comma list and/or lo..hi:step / lo..hi:*k ranges (e.g. 8..128:8)")
 	flag.StringVar(&c.dsColumns, "ds-columns", "", "designspace column-size axis (bytes), same range syntax")
 	flag.StringVar(&c.dsWays, "ds-ways", "", "designspace D-cache associativity axis, same range syntax")
@@ -109,13 +118,14 @@ func main() {
 	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&c.metrics, "metrics", "", "write simulator metrics as JSON to this file after the run")
-	flag.StringVar(&c.trace, "trace", "", "write the sweep event trace to this file after the run")
+	flag.StringVar(&c.traceOut, "trace", "", "write the sweep event trace to this file after the run")
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar, pprof, and live metrics on this host:port")
 	flag.Parse()
 
-	// `iramsim -record <dir>` with no experiments is record-all mode:
-	// pre-populate every workload's trace and exit.
-	if flag.NArg() == 0 && c.record == "" {
+	// `iramsim -record <dir>` with no experiments is record-all mode,
+	// and `-result-cache-max-bytes` with no experiments is cache-gc
+	// mode; anything else without experiments is a usage error.
+	if flag.NArg() == 0 && c.record == "" && c.cacheMaxBytes == 0 {
 		usage()
 		os.Exit(2)
 	}
@@ -125,6 +135,54 @@ func main() {
 	if err := mainErr(c); err != nil {
 		fatal(err)
 	}
+}
+
+// request maps the fidelity flags onto the runner's request surface.
+func request(c cliConfig) (runner.Request, error) {
+	req := runner.Request{
+		Experiments: flag.Args(),
+		Quick:       c.quick,
+		Budget:      c.budget,
+		Seed:        c.seed,
+		DSCoarse:    c.dsCoarse,
+		DSRefine:    c.dsRefine,
+	}
+	if c.procs != "" {
+		for _, s := range strings.Split(c.procs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return runner.Request{}, fmt.Errorf("bad -procs value %q", s)
+			}
+			req.Procs = append(req.Procs, n)
+		}
+	}
+	if c.machine != "" {
+		data, err := os.ReadFile(c.machine)
+		if err != nil {
+			return runner.Request{}, fmt.Errorf("core: machine config: %w", err)
+		}
+		req.Machine = data
+	}
+	for _, ax := range []struct {
+		name string
+		val  string
+		dst  *[]int
+	}{
+		{"ds-banks", c.dsBanks, &req.DSBanks},
+		{"ds-columns", c.dsColumns, &req.DSColumns},
+		{"ds-ways", c.dsWays, &req.DSWays},
+		{"ds-victims", c.dsVictims, &req.DSVictims},
+	} {
+		if ax.val == "" {
+			continue
+		}
+		vals, err := parseAxis(ax.name, ax.val)
+		if err != nil {
+			return runner.Request{}, err
+		}
+		*ax.dst = vals
+	}
+	return req, nil
 }
 
 func mainErr(c cliConfig) error {
@@ -154,96 +212,54 @@ func mainErr(c cliConfig) error {
 		}()
 	}
 
-	opts := experiments.Default()
-	if c.quick {
-		opts = experiments.Quick()
+	req, err := request(c)
+	if err != nil {
+		return err
 	}
-	if c.budget > 0 {
-		opts.Budget = c.budget
-	}
-	opts.Seed = c.seed
-	if c.procs != "" {
-		var procs []int
-		for _, s := range strings.Split(c.procs, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				return fmt.Errorf("bad -procs value %q", s)
-			}
-			procs = append(procs, n)
-		}
-		opts.Procs = procs
-	}
-	if c.machine != "" {
-		dev, err := core.LoadFile(c.machine)
-		if err != nil {
-			return err
-		}
-		opts.Machine = &dev
-	}
-	for _, ax := range []struct {
-		name string
-		val  string
-		dst  *[]int
-	}{
-		{"ds-banks", c.dsBanks, &opts.DSBanks},
-		{"ds-columns", c.dsColumns, &opts.DSColumns},
-		{"ds-ways", c.dsWays, &opts.DSWays},
-		{"ds-victims", c.dsVictims, &opts.DSVictims},
-	} {
-		if ax.val == "" {
-			continue
-		}
-		vals, err := parseAxis(ax.name, ax.val)
-		if err != nil {
-			return err
-		}
-		*ax.dst = vals
-	}
-	opts.DSCoarse = c.dsCoarse
-	opts.DSRefine = c.dsRefine
-	opts.Workers = c.workers
-	frontierPath = c.dsFrontier
-
 	traceDir, err := resolveTraceDir(c)
 	if err != nil {
 		return err
 	}
-	if traceDir != "" {
-		store, err := tracestore.NewStore(traceDir)
+	if flag.NArg() == 0 && c.record != "" {
+		opts, err := req.Options()
 		if err != nil {
 			return err
 		}
-		opts.TraceSource = workload.Traced{Store: store, Seed: opts.Seed, Force: c.record != ""}
-	}
-	if flag.NArg() == 0 {
+		src, err := runner.OpenTraceSource(traceDir, opts.Seed, true)
+		if err != nil {
+			return err
+		}
+		opts.TraceSource = src
 		return recordAll(opts, os.Stderr)
 	}
-
-	// The result cache is on by default: warm reruns decode assembled
-	// unit results instead of re-simulating, with byte-identical output
-	// (versioned gob encodes float64s bit-exactly; any stale, corrupt,
-	// or foreign entry decodes as a miss and is recomputed). A -record
-	// run is the exception: its purpose is to execute every workload so
-	// the traces get written, so it never satisfies units from cache.
-	if !c.noResultCache && c.resultCache != "" && c.record == "" {
-		store, err := resultstore.NewStore(c.resultCache)
-		if err != nil {
-			return err
-		}
-		opts.ResultCache = store
+	if flag.NArg() == 0 {
+		return cacheGC(c, os.Stderr)
 	}
 
-	// Observability is opt-in: with no flag set, opts.Obs and tracer stay
-	// nil and every hook in the simulators is a single pointer check.
+	cfg := runner.Config{
+		Workers:      c.workers,
+		JSON:         jsonMode,
+		Out:          os.Stdout,
+		Progress:     os.Stderr,
+		TraceDir:     traceDir,
+		RecordTraces: c.record != "",
+		FrontierPath: c.dsFrontier,
+	}
+	frontierPath = c.dsFrontier
+	if !c.noResultCache {
+		cfg.ResultCacheDir = c.resultCache
+	}
+
+	// Observability is opt-in: with no flag set, the registry stays nil
+	// and every hook in the simulators is a single pointer check.
 	if c.metrics != "" || c.debugAddr != "" {
-		opts.Obs = obs.NewRegistry()
+		cfg.Obs = obs.NewRegistry()
 	}
-	var tracer *obs.Tracer
-	if c.trace != "" {
-		tracer = obs.NewTracer(obs.DefaultShardEvents)
+	if c.traceOut != "" {
+		cfg.Trace = obs.NewTracer(obs.DefaultShardEvents)
 	}
 	if c.debugAddr != "" {
-		srv, err := opts.Obs.ServeDebug(c.debugAddr)
+		srv, err := cfg.Obs.ServeDebug(c.debugAddr)
 		if err != nil {
 			return fmt.Errorf("debug-addr: %w", err)
 		}
@@ -251,20 +267,13 @@ func mainErr(c cliConfig) error {
 		fmt.Fprintf(os.Stderr, "iramsim: debug server listening on http://%s/debug/\n", srv.Addr)
 	}
 
-	names := flag.Args()
-	if len(names) == 1 && names[0] == "all" {
-		names = append([]string{"spec"}, experiments.SweepNames()...)
-		names = append(names, "selftest")
-	}
-
-	ms := experiments.NewMeasurementSet(opts)
-	runErr := runNames(names, opts, ms, c.workers, tracer, os.Stdout, os.Stderr)
+	runErr := runner.Run(context.Background(), req, cfg)
 
 	// Dump metrics and trace even after a failed run: the sweep engine
 	// merges what it measured before reporting its first error, and a
 	// partial dump is exactly what debugging a failed sweep needs.
 	if c.metrics != "" {
-		if err := writeMetrics(c.metrics, opts.Obs); err != nil {
+		if err := writeMetrics(c.metrics, cfg.Obs); err != nil {
 			if runErr == nil {
 				runErr = err
 			} else {
@@ -272,21 +281,21 @@ func mainErr(c cliConfig) error {
 			}
 		}
 	}
-	if c.trace != "" {
-		if err := writeTrace(c.trace, tracer); err != nil {
+	if c.traceOut != "" {
+		if err := writeTrace(c.traceOut, cfg.Trace); err != nil {
 			if runErr == nil {
 				runErr = err
 			} else {
 				fmt.Fprintln(os.Stderr, "iramsim:", err)
 			}
 		}
+	}
+	if runErr == nil && c.cacheMaxBytes > 0 && !c.noResultCache {
+		runErr = cacheGC(c, os.Stderr)
 	}
 	return runErr
 }
 
-// recordAll pre-populates the trace cache with every workload's
-// reference stream (record-all mode: `iramsim -record <dir>` with no
-// experiment arguments). -quick and -budget select the recorded budget.
 // resolveTraceDir folds the three cache-directory spellings into one.
 // -trace-dir and -replay replay cached streams (recording on miss);
 // -record always re-records. Replayed and live streams are
@@ -307,6 +316,9 @@ func resolveTraceDir(c cliConfig) (string, error) {
 	return dir, nil
 }
 
+// recordAll pre-populates the trace cache with every workload's
+// reference stream (record-all mode: `iramsim -record <dir>` with no
+// experiment arguments). -quick and -budget select the recorded budget.
 func recordAll(opts experiments.Options, progress io.Writer) error {
 	for _, w := range workload.All() {
 		var counts trace.Counts
@@ -316,6 +328,23 @@ func recordAll(opts experiments.Options, progress io.Writer) error {
 		fmt.Fprintf(progress, "iramsim: recorded %-12s %10d refs (%d instructions)\n",
 			w.Name, counts.Total(), counts.Ifetches)
 	}
+	return nil
+}
+
+// cacheGC prunes the result cache to -result-cache-max-bytes, evicting
+// oldest-mtime entries first (`make cache-gc`, and the post-run prune
+// that keeps a long-running cache from filling the disk).
+func cacheGC(c cliConfig, progress io.Writer) error {
+	store, err := resultstore.NewStore(c.resultCache)
+	if err != nil {
+		return err
+	}
+	removed, freed, err := store.Prune(c.cacheMaxBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "iramsim: result-cache gc: pruned %d entries (%d bytes) from %s\n",
+		removed, freed, c.resultCache)
 	return nil
 }
 
@@ -354,22 +383,19 @@ func writeTrace(path string, tr *obs.Tracer) error {
 
 // runNames fans the named experiments' units out over the worker pool
 // and renders each experiment's result, in command-line order, as its
-// units complete. Output on out is byte-identical for every worker
-// count; progress and timing go to progress only.
+// units complete. Kept as the byte-identity seam the determinism and
+// golden tests drive; it is a thin adapter over runner.RunJobs.
 func runNames(names []string, opts experiments.Options, ms *experiments.MeasurementSet,
 	workers int, tracer *obs.Tracer, out io.Writer, progress io.Writer) error {
-	jobs := make([]sweep.Job, 0, len(names))
-	for _, name := range names {
-		j, err := jobFor(name, opts, ms)
-		if err != nil {
-			return err
-		}
-		jobs = append(jobs, j)
-	}
-	eng := &sweep.Engine{Workers: workers, Progress: progress, Obs: opts.Obs, Trace: tracer,
-		Cache: opts.ResultCache}
-	return eng.Run(jobs, func(r sweep.JobResult) error {
-		return render(out, r.Name, r.Value)
+	return runner.RunJobs(context.Background(), names, opts, ms, runner.Config{
+		Workers:      workers,
+		JSON:         jsonMode,
+		Out:          out,
+		Progress:     progress,
+		Obs:          opts.Obs,
+		Trace:        tracer,
+		ResultCache:  opts.ResultCache,
+		FrontierPath: frontierPath,
 	})
 }
 
@@ -377,142 +403,6 @@ func runNames(names []string, opts experiments.Options, ms *experiments.Measurem
 // point (and for tests).
 func run(name string, opts experiments.Options, ms *experiments.MeasurementSet) error {
 	return runNames([]string{name}, opts, ms, 1, nil, os.Stdout, io.Discard)
-}
-
-// jobFor maps a command-line experiment name to a sweep job. The
-// text-only outputs (spec, workloads, fig910, selftest) live here as
-// single-unit jobs that render into a buffer; everything else comes
-// from the experiments registry.
-func jobFor(name string, opts experiments.Options, ms *experiments.MeasurementSet) (sweep.Job, error) {
-	switch name {
-	case "spec":
-		return sweep.Single(name, 0, func() (interface{}, error) {
-			var buf bytes.Buffer
-			for _, line := range opts.Device().Datasheet() {
-				fmt.Fprintln(&buf, line)
-			}
-			fmt.Fprintln(&buf)
-			return buf.Bytes(), nil
-		}), nil
-	case "workloads":
-		return sweep.Single(name, 0, func() (interface{}, error) {
-			var buf bytes.Buffer
-			t := report.NewTable("Table 2: benchmark stand-ins",
-				"benchmark", "fp", "base CPI", "budget", "description")
-			for _, name := range workload.Names() {
-				w, err := workload.ByName(name)
-				if err != nil {
-					return nil, err
-				}
-				desc := w.Description
-				if len(desc) > 72 {
-					desc = desc[:69] + "..."
-				}
-				t.Row(w.Name, w.Float, w.BaseCPI, w.Budget, desc)
-			}
-			t.Render(&buf)
-			return buf.Bytes(), nil
-		}), nil
-	case "fig910":
-		return sweep.Single(name, 0, func() (interface{}, error) {
-			var buf bytes.Buffer
-			for _, cfg := range []cpumodel.SystemConfig{cpumodel.ConfigFor(opts.Device()), cpumodel.Reference()} {
-				m, err := cpumodel.Build(cfg, cpumodel.AppRates{
-					Name: "shape", BaseCPI: 1, LoadFrac: 0.25, StoreFrac: 0.1,
-					IHit: 0.95, LoadHit: 0.95, StoreHit: 0.95,
-					IL2Hit: 0.9, LoadL2Hit: 0.9, StoreL2Hit: 0.9,
-				})
-				if err != nil {
-					return nil, err
-				}
-				sh := m.Shape()
-				fmt.Fprintf(&buf,
-					"Figure 9/10 net (%s): %d places, %d immediate + %d deterministic + %d exponential transitions, %d banks, L2=%v"+"\n",
-					cfg.Name, sh.Places, sh.Immediate, sh.Deterministic, sh.Exponential, sh.Banks, sh.HasL2)
-			}
-			fmt.Fprintln(&buf)
-			return buf.Bytes(), nil
-		}), nil
-	case "selftest":
-		return sweep.Single(name, 0, func() (interface{}, error) {
-			var buf bytes.Buffer
-			r, err := selftest.Run(selftest.Config{WindowBytes: 256 << 10})
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(&buf, "built-in self test: passed=%v phase=%s instructions=%d window=%dKB fills=%d\n\n",
-				r.Passed, r.Phase, r.Instructions, r.MemoryBytes>>10, r.CacheFills)
-			return buf.Bytes(), nil
-		}), nil
-	}
-	j, err := experiments.JobFor(name, opts, ms)
-	if err != nil {
-		return sweep.Job{}, fmt.Errorf("unknown experiment %q", name)
-	}
-	return j, nil
-}
-
-// render writes one experiment's assembled result to out in the same
-// format the serial CLI has always produced.
-func render(out io.Writer, name string, v interface{}) error {
-	switch name {
-	case "cost", "fabric":
-		// rendered as plain tables even in -json mode, as before
-		v.(*report.Table).Render(out)
-		return nil
-	}
-	if b, ok := v.([]byte); ok {
-		_, err := out.Write(b)
-		return err
-	}
-	if err := exportFrontier(v); err != nil {
-		return err
-	}
-	if !jsonMode {
-		if mt, ok := v.(multiTabler); ok {
-			for _, tab := range mt.Tables() {
-				tab.Render(out)
-			}
-			return nil
-		}
-	}
-	t, ok := v.(tabler)
-	if !ok {
-		return fmt.Errorf("experiment %q returned unrenderable %T", name, v)
-	}
-	if err := emit(out, name, t); err != nil {
-		return err
-	}
-	if !jsonMode {
-		if p, ok := v.(plotter); ok {
-			p.Plot().Render(out)
-		}
-	}
-	return nil
-}
-
-// tabler is any experiment result that can render itself.
-type tabler interface{ Table() *report.Table }
-
-// multiTabler marks results that render as several tables (the
-// designspace search: point grid + Pareto frontier). It takes
-// precedence over tabler outside -json mode.
-type multiTabler interface{ Tables() []*report.Table }
-
-// plotter marks results that also render an ASCII plot (fig11, fig12,
-// fig13..fig17).
-type plotter interface{ Plot() *report.Series }
-
-// emit writes a result as a table or, in -json mode, as indented JSON
-// tagged with the experiment name.
-func emit(out io.Writer, name string, v tabler) error {
-	if !jsonMode {
-		v.Table().Render(out)
-		return nil
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(map[string]interface{}{"experiment": name, "result": v})
 }
 
 func usage() {
@@ -523,6 +413,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "design-space search: iramsim designspace -ds-banks 8..128:8 -ds-columns 256..4096:*2 \\")
 	fmt.Fprintln(os.Stderr, "  -ds-ways 1,2,4 -ds-victims 0,16 -ds-coarse 4 -ds-refine 2 -ds-frontier pareto.json")
 	fmt.Fprintln(os.Stderr, "  (points group into column-size families; each family costs ONE trace pass per bench)")
+	fmt.Fprintln(os.Stderr, "result cache: on by default under .result-cache; -no-result-cache disables,")
+	fmt.Fprintln(os.Stderr, "  -result-cache-max-bytes prunes (cache-gc: iramsim -result-cache-max-bytes N)")
+	fmt.Fprintln(os.Stderr, "service: see cmd/iramsimd for the HTTP daemon serving these runs")
 	flag.PrintDefaults()
 }
 

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resultstore"
+	"repro/internal/runner"
+)
+
+// runLoadTest is the daemon's built-in acceptance harness
+// (`iramsimd -loadtest N`). It is fully self-contained: it stands up an
+// in-process server over a fresh result cache, warms the cache with one
+// fig7 and one fig8 run, then fires N concurrent overlapping streaming
+// requests and asserts the service contract:
+//
+//   - every warm request is served entirely from cache (hits > 0,
+//     misses == 0 in its done event);
+//   - responses for the same experiment set are byte-identical;
+//   - a saturated queue answers 429 (backpressure, not deadlock), and
+//     the server stays responsive throughout.
+func runLoadTest(n, workers int, out io.Writer) error {
+	if n < 2 {
+		n = 2
+	}
+	cacheDir, err := os.MkdirTemp("", "iramsimd-loadtest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	store, err := resultstore.NewStore(cacheDir)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	s := newServer(serverConfig{
+		Queue:   2 * n,
+		MaxRuns: 4,
+		Workers: workers,
+		Store:   store,
+		Obs:     reg,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.drain(time.Minute)
+
+	reqs := []runner.Request{
+		{Experiments: []string{"fig7"}, Quick: true, Budget: 50_000},
+		{Experiments: []string{"fig8"}, Quick: true, Budget: 50_000},
+	}
+
+	fmt.Fprintf(out, "loadtest: warming cache (fig7, fig8) ...\n")
+	warmStart := time.Now()
+	for _, req := range reqs {
+		if _, _, err := submitAndWait(ts.URL, req); err != nil {
+			return fmt.Errorf("warm run: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "loadtest: cache warm in %.1fs; firing %d concurrent requests\n",
+		time.Since(warmStart).Seconds(), n)
+
+	// Overlapping warm requests: alternate fig7/fig8 so concurrent runs
+	// hit the same cache entries at the same time.
+	type reply struct {
+		idx    int
+		output []byte
+		done   doneEvent
+		err    error
+	}
+	start := time.Now()
+	results := make([]reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			output, done, err := submitAndWait(ts.URL, reqs[i%len(reqs)])
+			results[i] = reply{idx: i, output: output, done: done, err: err}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var failures int
+	byExp := map[int][]byte{}
+	for _, r := range results {
+		if r.err != nil {
+			failures++
+			fmt.Fprintf(out, "loadtest: FAIL request %d: %v\n", r.idx, r.err)
+			continue
+		}
+		if r.done.State != "done" {
+			failures++
+			fmt.Fprintf(out, "loadtest: FAIL request %d: state %q (%s)\n", r.idx, r.done.State, r.done.Error)
+			continue
+		}
+		if r.done.CacheHits == 0 || r.done.CacheMisses != 0 {
+			failures++
+			fmt.Fprintf(out, "loadtest: FAIL request %d: hits=%d misses=%d, want warm (hits>0 misses==0)\n",
+				r.idx, r.done.CacheHits, r.done.CacheMisses)
+		}
+		key := r.idx % len(reqs)
+		if prev, ok := byExp[key]; !ok {
+			byExp[key] = r.output
+		} else if !bytes.Equal(prev, r.output) {
+			failures++
+			fmt.Fprintf(out, "loadtest: FAIL request %d: output differs from request %d\n", r.idx, key)
+		}
+	}
+	fmt.Fprintf(out, "loadtest: %d warm requests in %.2fs (%.1f req/s), %d failures\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), failures)
+
+	// Backpressure probe: a tiny cold server (queue=1, runs=1, no
+	// cache) flooded with submissions must shed load with 429s while
+	// staying responsive, never deadlocking.
+	rejected, err := probeBackpressure(workers, out)
+	if err != nil {
+		return err
+	}
+	if rejected == 0 {
+		failures++
+		fmt.Fprintf(out, "loadtest: FAIL backpressure probe observed no 429s\n")
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d check(s) failed", failures)
+	}
+	fmt.Fprintf(out, "loadtest: PASS\n")
+	return nil
+}
+
+// doneEvent is the terminal event every run stream ends with.
+type doneEvent struct {
+	Type        string `json:"type"`
+	State       string `json:"state"`
+	Error       string `json:"error"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+}
+
+// submitAndWait POSTs one streaming run and returns its rendered output
+// plus the terminal done event.
+func submitAndWait(baseURL string, req runner.Request) ([]byte, doneEvent, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, doneEvent{}, err
+	}
+	resp, err := http.Post(baseURL+"/v1/runs?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, doneEvent{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, doneEvent{}, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var id string
+	var done doneEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			doneEvent
+			Run string `json:"run"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, doneEvent{}, fmt.Errorf("bad event %q: %w", sc.Text(), err)
+		}
+		if ev.Run != "" {
+			id = ev.Run
+		}
+		if ev.Type == "done" {
+			done = ev.doneEvent
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, doneEvent{}, err
+	}
+	if done.Type != "done" {
+		return nil, doneEvent{}, fmt.Errorf("stream ended without a done event")
+	}
+	outResp, err := http.Get(baseURL + "/v1/runs/" + id + "/output")
+	if err != nil {
+		return nil, doneEvent{}, err
+	}
+	defer outResp.Body.Close()
+	output, err := io.ReadAll(outResp.Body)
+	if err != nil {
+		return nil, doneEvent{}, err
+	}
+	if outResp.StatusCode != http.StatusOK {
+		return nil, done, fmt.Errorf("output: %s: %s", outResp.Status, bytes.TrimSpace(output))
+	}
+	return output, done, nil
+}
+
+// probeBackpressure floods a queue=1/runs=1 cold server and counts
+// 429s; the accepted runs are canceled rather than waited for.
+func probeBackpressure(workers int, out io.Writer) (rejected int, err error) {
+	reg := obs.NewRegistry()
+	s := newServer(serverConfig{Queue: 1, MaxRuns: 1, Workers: workers, Obs: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(runner.Request{Experiments: []string{"fig7"}, Quick: true, Budget: 50_000})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return rejected, err
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			rejected++
+		case http.StatusAccepted:
+			var v struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+				ids = append(ids, v.ID)
+			}
+		default:
+			resp.Body.Close()
+			return rejected, fmt.Errorf("probe submit: unexpected %s", resp.Status)
+		}
+		resp.Body.Close()
+	}
+	// Server must still answer while saturated.
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		return rejected, fmt.Errorf("healthz under load: %w", err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		return rejected, fmt.Errorf("healthz under load: %s", health.Status)
+	}
+	for _, id := range ids {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+	s.drain(time.Minute)
+	fmt.Fprintf(out, "loadtest: backpressure probe: %d/8 submissions shed with 429\n", rejected)
+	return rejected, nil
+}

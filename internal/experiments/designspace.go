@@ -514,7 +514,7 @@ func DesignspaceJob(o Options) sweep.Job {
 		gJob := sweep.Job{Name: "designspace/gspn", Units: gUnits,
 			Assemble: func(ps []interface{}) (interface{}, error) { return ps, nil }}
 		eng := &sweep.Engine{Workers: o.Workers, Cache: o.ResultCache}
-		gv, err := eng.RunJob(gJob)
+		gv, err := eng.RunJobContext(o.ctx(), gJob)
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -71,6 +72,19 @@ type Options struct {
 	// cache from -result-cache; cached and uncached runs produce
 	// byte-identical output.
 	ResultCache sweep.ResultCache
+	// Ctx, when non-nil, cancels the nested sweeps some experiments fan
+	// out from their assembly step: the runner sets it to the run's
+	// context so an abandoned request stops the designspace GSPN stage
+	// too, not just the outer unit queue. Nil means never canceled.
+	Ctx context.Context
+}
+
+// ctx returns the cancellation context nested sweeps run under.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Device returns the integrated device the experiments run against.

@@ -40,22 +40,17 @@ type DebugServer struct {
 	srv  *http.Server
 }
 
-// ServeDebug starts an HTTP server on addr exposing, while a long sweep
-// runs:
+// DebugHandlers registers the registry's debug endpoints on mux:
 //
 //	/debug/vars          expvar (including the "iramsim" registry snapshot)
 //	/debug/pprof/...     net/http/pprof profiles
 //	/debug/metrics       the registry's JSON dump, rendered on demand
 //
-// The server runs until Close. It uses its own mux, so nothing leaks
-// into http.DefaultServeMux.
-func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+// It also publishes the registry via PublishExpvar so /debug/vars shows
+// it. Both the standalone ServeDebug server and iramsimd's service mux
+// mount the same set, so operators get one debug surface everywhere.
+func (r *Registry) DebugHandlers(mux *http.ServeMux) {
 	r.PublishExpvar()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -66,6 +61,18 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the DebugHandlers
+// endpoints while a long sweep runs. The server runs until Close. It
+// uses its own mux, so nothing leaks into http.DefaultServeMux.
+func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	r.DebugHandlers(mux)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil

@@ -3,10 +3,12 @@ package resultstore
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func newStore(t *testing.T) *Store {
@@ -198,5 +200,96 @@ func TestPathSanitizesKeys(t *testing.T) {
 	}
 	if _, ok := s.Get(long); !ok {
 		t.Error("long key round trip failed")
+	}
+}
+
+// putSized writes an entry of n payload bytes and backdates its mtime
+// so eviction order is deterministic regardless of test speed.
+func putSized(t *testing.T, s *Store, key string, n int, age time.Duration) {
+	t.Helper()
+	if err := s.Put(key, bytes.Repeat([]byte{'x'}, n)); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.Path(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneEvictsOldestFirst(t *testing.T) {
+	s := newStore(t)
+	putSized(t, s, "old", 100, 3*time.Hour)
+	putSized(t, s, "mid", 100, 2*time.Hour)
+	putSized(t, s, "new", 100, time.Hour)
+	total, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap just under the total: exactly one (the oldest) must go.
+	removed, freed, err := s.Prune(total - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed != total/3 {
+		t.Fatalf("Prune = (%d, %d), want 1 entry of %d bytes", removed, freed, total/3)
+	}
+	if _, ok := s.Get("old"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, key := range []string{"mid", "new"} {
+		if _, ok := s.Get(key); !ok {
+			t.Errorf("entry %q evicted out of order", key)
+		}
+	}
+}
+
+func TestPruneUnderCapIsNoop(t *testing.T) {
+	s := newStore(t)
+	putSized(t, s, "a", 50, time.Hour)
+	putSized(t, s, "b", 50, time.Hour)
+	removed, freed, err := s.Prune(1 << 20)
+	if err != nil || removed != 0 || freed != 0 {
+		t.Fatalf("Prune under cap = (%d, %d, %v), want noop", removed, freed, err)
+	}
+}
+
+func TestPruneZeroEmptiesStore(t *testing.T) {
+	s := newStore(t)
+	putSized(t, s, "a", 10, time.Hour)
+	putSized(t, s, "b", 10, time.Hour)
+	if removed, _, err := s.Prune(0); err != nil || removed != 2 {
+		t.Fatalf("Prune(0) removed %d (err %v), want 2", removed, err)
+	}
+	if size, _ := s.Size(); size != 0 {
+		t.Errorf("store size after Prune(0) = %d", size)
+	}
+}
+
+// TestPruneSweepsStaleTemps: an orphaned temp file from a crashed
+// writer is removed once clearly stale; a fresh one (possibly an
+// in-flight Put from another process) is left alone.
+func TestPruneSweepsStaleTemps(t *testing.T) {
+	s := newStore(t)
+	stale := filepath.Join(s.dir, "crashed.tmp")
+	fresh := filepath.Join(s.dir, "inflight.tmp")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := s.Prune(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived prune")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file was swept; may race an in-flight Put")
 	}
 }

@@ -1,0 +1,178 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// quickReq is the CI-sized request the tests run: cheap analytic
+// outputs plus one real trace-driven figure.
+func quickReq(names ...string) Request {
+	return Request{Experiments: names, Quick: true, Budget: 50_000}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string // substring of the error, "" = valid
+	}{
+		{"empty", Request{}, "no experiments"},
+		{"unknown", quickReq("fig99"), `unknown experiment "fig99"`},
+		{"known", quickReq("fig7", "spec", "designspace", "all"), ""},
+		{"bad-procs", Request{Experiments: []string{"fig13"}, Procs: []int{0}}, "processor count"},
+		{"bad-machine-json", Request{Experiments: []string{"spec"}, Machine: json.RawMessage(`{`)}, "machine config"},
+		{"unknown-machine-field", Request{Experiments: []string{"spec"}, Machine: json.RawMessage(`{"NoSuchKnob":1}`)}, "machine config"},
+		{"invalid-machine", Request{Experiments: []string{"spec"}, Machine: json.RawMessage(`{"Banks":0}`)}, "machine config"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.req.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestExpandNames(t *testing.T) {
+	all := ExpandNames([]string{"all"})
+	if len(all) < 10 || all[0] != "spec" || all[len(all)-1] != "selftest" {
+		t.Errorf("ExpandNames(all) = %v", all)
+	}
+	plain := []string{"fig7", "fig8"}
+	if got := ExpandNames(plain); len(got) != 2 || got[0] != "fig7" {
+		t.Errorf("ExpandNames(%v) = %v", plain, got)
+	}
+}
+
+// TestRunRendersAndReports: Run renders every requested experiment to
+// Out in request order and mirrors each through OnResult.
+func TestRunRendersAndReports(t *testing.T) {
+	var out bytes.Buffer
+	var results []Result
+	err := Run(context.Background(), quickReq("cost", "spec"), Config{
+		Out:      &out,
+		OnResult: func(r Result) { results = append(results, r) },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("Run produced no output")
+	}
+	if len(results) != 2 || results[0].Name != "cost" || results[1].Name != "spec" {
+		t.Fatalf("OnResult order = %+v, want cost then spec", results)
+	}
+	if results[0].Units != 1 || results[0].Value == nil {
+		t.Errorf("cost result = %+v", results[0])
+	}
+}
+
+// TestRunUnknownExperiment: a name that slips past the caller fails
+// with the same error the CLI has always printed.
+func TestRunUnknownExperiment(t *testing.T) {
+	err := Run(context.Background(), quickReq("fig99"), Config{})
+	if err == nil || !strings.Contains(err.Error(), `unknown experiment "fig99"`) {
+		t.Fatalf("Run = %v, want unknown-experiment error", err)
+	}
+}
+
+// TestRunCanceled: a pre-canceled context runs nothing and reports
+// context.Canceled; no result is ever delivered.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	called := 0
+	err := Run(ctx, quickReq("cost"), Config{
+		Out:      &out,
+		OnResult: func(Result) { called++ },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if called != 0 || out.Len() != 0 {
+		t.Errorf("canceled run delivered results (OnResult %d, %d bytes out)", called, out.Len())
+	}
+}
+
+// TestRunWarmCache: the second run against the same result-cache dir is
+// served entirely from cache (hits > 0, misses == 0) with byte-identical
+// rendered output — the property the daemon's overlapping-request
+// workload depends on.
+func TestRunWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	req := quickReq("fig7")
+
+	var cold bytes.Buffer
+	coldReg := obs.NewRegistry()
+	if err := Run(context.Background(), req, Config{
+		Out: &cold, Obs: coldReg, ResultCacheDir: dir, Workers: 4,
+	}); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if misses := coldReg.Counter("resultcache", "misses").Value(); misses == 0 {
+		t.Fatalf("cold run reported no misses")
+	}
+
+	var warm bytes.Buffer
+	warmReg := obs.NewRegistry()
+	var units, skipped int
+	if err := Run(context.Background(), req, Config{
+		Out: &warm, Obs: warmReg, ResultCacheDir: dir, Workers: 2,
+		OnUnit: func(ev sweep.UnitEvent) {
+			units++
+			if ev.Skipped {
+				skipped++
+			}
+		},
+	}); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("warm output differs from cold")
+	}
+	hits := warmReg.Counter("resultcache", "hits").Value()
+	misses := warmReg.Counter("resultcache", "misses").Value()
+	if hits == 0 || misses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want hits>0 misses==0", hits, misses)
+	}
+	if units == 0 || skipped != 0 {
+		t.Errorf("OnUnit saw %d units (%d skipped)", units, skipped)
+	}
+}
+
+// TestRunFrontierExport: the designspace frontier lands at
+// Config.FrontierPath without any CLI globals involved.
+func TestRunFrontierExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pareto.csv")
+	var out bytes.Buffer
+	if err := Run(context.Background(), quickReq("designspace"), Config{
+		Out: &out, FrontierPath: path,
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("frontier not written: %v", err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines < 2 {
+		t.Errorf("frontier CSV has %d lines, want header + rows:\n%s", lines, data)
+	}
+}

@@ -16,6 +16,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -133,6 +134,31 @@ type Engine struct {
 	// under the "resultcache" family. Store failures are non-fatal —
 	// a broken cache degrades to recomputation, never to an error.
 	Cache ResultCache
+	// OnUnit, when non-nil, receives one structured event per unit as
+	// it completes (or is skipped after a failure/cancellation). It is
+	// the machine-readable twin of Progress: called on the coordinating
+	// goroutine, in completion order, so implementations need no
+	// locking but must not block for long — the sweep's emit frontier
+	// waits behind it. The daemon uses it to stream progress to HTTP
+	// clients.
+	OnUnit func(UnitEvent)
+}
+
+// UnitEvent describes one unit's completion for Engine.OnUnit.
+type UnitEvent struct {
+	// Job and Unit name the completed unit.
+	Job, Unit string
+	// Completed counts units finished so far (this one included);
+	// Total is the sweep's unit count. Completed never skips numbers:
+	// skipped and failed units count too.
+	Completed, Total int
+	// Skipped marks a unit abandoned after an earlier failure or a
+	// context cancellation; its Err is nil and it did not run.
+	Skipped bool
+	// Err is the unit's failure, nil on success and on skip.
+	Err error
+	// Elapsed is the unit's wall time (zero when skipped).
+	Elapsed time.Duration
 }
 
 // cacheCounters holds the resolved "resultcache" metric handles; all
@@ -210,6 +236,20 @@ type completion struct {
 // sweep). It returns the first unit or assembly error; emit may have
 // been called for jobs that finished before the failure.
 func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
+	return e.RunContext(context.Background(), jobs, emit)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled the engine
+// stops scheduling units — workers skip everything still queued (each
+// skip accounted exactly like a post-failure skip: counted, traced,
+// and printed so [completed/total] never skips numbers) — in-flight
+// units run to completion, and RunContext returns ctx.Err(). Jobs
+// whose every unit completed are still assembled and emitted; a job
+// with any skipped unit never assembles, so no partially assembled
+// job is ever emitted, and a skipped cacheable unit leaves no result-
+// store entry (it never ran). An abandoned HTTP request cancels its
+// sweep this way, freeing the worker pool for the next queued run.
+func (e *Engine) RunContext(ctx context.Context, jobs []Job, emit func(JobResult) error) error {
 	workers := e.Workers
 	if workers < 1 {
 		workers = 1
@@ -269,7 +309,7 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 		go func(w int) {
 			defer wg.Done()
 			for t := range taskCh {
-				if stop.Load() {
+				if stop.Load() || ctx.Err() != nil {
 					shards[w].Emit("unit_skipped", jobs[t.job].Units[t.unit].Name, int64(t.job), int64(t.unit))
 					doneCh <- completion{t: t, err: errCanceled}
 					continue
@@ -333,6 +373,12 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 		c := <-doneCh
 		completed++
 		gQueue.Add(-1)
+		ev := UnitEvent{
+			Job:       jobs[c.t.job].Name,
+			Unit:      jobs[c.t.job].Units[c.t.unit].Name,
+			Completed: completed,
+			Total:     len(tasks),
+		}
 		switch {
 		case c.err == nil:
 			parts[c.t.job][c.t.unit] = c.val
@@ -343,15 +389,24 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 				fmt.Fprintf(e.Progress, "sweep: [%d/%d] %s (%.2fs)\n",
 					completed, len(tasks), jobs[c.t.job].Units[c.t.unit].Name, c.dur.Seconds())
 			}
+			ev.Elapsed = c.dur
+			if e.OnUnit != nil {
+				e.OnUnit(ev)
+			}
 			flush()
 		case errors.Is(c.err, errCanceled):
-			// Canceled after an earlier failure. The unit still counts
-			// toward [completed/total] — print it, so the counter the
-			// user watches never skips numbers.
+			// Canceled after an earlier failure or a context
+			// cancellation. The unit still counts toward
+			// [completed/total] — print it, so the counter the user
+			// watches never skips numbers.
 			cSkipped.Inc()
 			if e.Progress != nil {
 				fmt.Fprintf(e.Progress, "sweep: [%d/%d] %s skipped\n",
 					completed, len(tasks), jobs[c.t.job].Units[c.t.unit].Name)
+			}
+			ev.Skipped = true
+			if e.OnUnit != nil {
+				e.OnUnit(ev)
 			}
 		default:
 			cFailed.Inc()
@@ -362,6 +417,11 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%s: %w", jobs[c.t.job].Units[c.t.unit].Name, c.err)
 				stop.Store(true)
+			}
+			ev.Err = c.err
+			ev.Elapsed = c.dur
+			if e.OnUnit != nil {
+				e.OnUnit(ev)
 			}
 		}
 	}
@@ -378,6 +438,12 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 
 	if firstErr != nil {
 		return firstErr
+	}
+	// A canceled sweep reports the cancellation, not success: whatever
+	// was skipped is missing from the output, and callers (the daemon)
+	// key their run state off errors.Is(err, context.Canceled).
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	flush() // jobs with zero units after the last task
 	if firstErr != nil {
@@ -398,8 +464,15 @@ func (e *Engine) Run(jobs []Job, emit func(JobResult) error) error {
 // stages — refinement rounds, screened GSPN evaluations — back through
 // the engine instead of hand-rolling goroutine pools.
 func (e *Engine) RunJob(j Job) (interface{}, error) {
+	return e.RunJobContext(context.Background(), j)
+}
+
+// RunJobContext is RunJob with cancellation, so nested sweeps (the
+// designspace GSPN stage) abandon their queued units when the outer
+// run's context is canceled instead of finishing minutes of dead work.
+func (e *Engine) RunJobContext(ctx context.Context, j Job) (interface{}, error) {
 	var out interface{}
-	err := e.Run([]Job{j}, func(r JobResult) error {
+	err := e.RunContext(ctx, []Job{j}, func(r JobResult) error {
 		out = r.Value
 		return nil
 	})

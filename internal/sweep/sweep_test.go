@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -557,5 +558,156 @@ func TestQueueDepth(t *testing.T) {
 	}
 	if got := reg.Gauge("sweep", "queue_depth").Value(); got != 0 {
 		t.Errorf("queue_depth after second run = %d, want 0", got)
+	}
+}
+
+// TestRunContextCancel: canceling mid-sweep skips everything still
+// queued with the same accounting as post-failure skips (counted,
+// printed, [completed/total] never skips numbers), leaves no cache
+// entry for a unit that never ran, and returns ctx.Err().
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cache := newMapCache()
+	reg := obs.NewRegistry()
+	var progress bytes.Buffer
+
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var lateRan int64
+	units := make([]Unit, 4)
+	for i := range units {
+		i := i
+		units[i] = Unit{
+			Name:  fmt.Sprintf("cancel/u%d", i),
+			Key:   fmt.Sprintf("cancel-u%d-key", i),
+			Codec: intCodec{},
+		}
+		if i < 2 {
+			units[i].Run = func() (interface{}, error) {
+				started <- struct{}{}
+				<-release
+				return i, nil
+			}
+		} else {
+			units[i].Run = func() (interface{}, error) {
+				atomic.AddInt64(&lateRan, 1)
+				return i, nil
+			}
+		}
+	}
+	job := Job{Name: "cancel", Units: units, Assemble: func(parts []interface{}) (interface{}, error) {
+		return len(parts), nil
+	}}
+
+	emitted := 0
+	e := &Engine{Workers: 2, Progress: &progress, Obs: reg, Cache: cache}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- e.RunContext(ctx, []Job{job}, func(JobResult) error {
+			emitted++
+			return nil
+		})
+	}()
+	<-started
+	<-started // both workers are mid-unit; units 2 and 3 still queued
+	cancel()
+	close(release)
+	err := <-errCh
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if lateRan != 0 {
+		t.Errorf("queued units ran %d times after cancellation, want 0", lateRan)
+	}
+	if emitted != 0 {
+		t.Errorf("job with skipped units was emitted %d times, want 0", emitted)
+	}
+	if got := reg.Counter("sweep", "units_skipped").Value(); got != 2 {
+		t.Errorf("units_skipped = %d, want 2", got)
+	}
+	if got := reg.Counter("sweep", "units_completed").Value(); got != 2 {
+		t.Errorf("units_completed = %d, want 2", got)
+	}
+	out := progress.String()
+	for _, want := range []string{"[4/4]", "skipped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	// In-flight units committed their results; skipped units must not
+	// have partial (or any) entries.
+	for i, u := range units {
+		_, ok := cache.m[u.Key]
+		if want := i < 2; ok != want {
+			t.Errorf("cache entry for %s: present=%v, want %v", u.Name, ok, want)
+		}
+	}
+}
+
+// TestRunContextPreCanceled: a sweep started with an already-canceled
+// context runs nothing, skips every unit, and emits no job.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	e := &Engine{Workers: 4}
+	v, err := e.RunJobContext(ctx, cachedJob("pre", 6, &ran))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunJobContext = (%v, %v), want context.Canceled", v, err)
+	}
+	if ran != 0 {
+		t.Errorf("%d units ran under a pre-canceled context", ran)
+	}
+	if v != nil {
+		t.Errorf("canceled job returned a value: %v", v)
+	}
+}
+
+// TestOnUnitEvents: OnUnit receives one event per unit in completion
+// order, with Completed counting 1..Total and failures/skips marked.
+func TestOnUnitEvents(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		slowFirst("ok", 2),
+		{Name: "bad", Units: []Unit{{Name: "bad/u0", Run: func() (interface{}, error) {
+			return nil, boom
+		}}}},
+		slowFirst("after", 2),
+	}
+	var events []UnitEvent
+	e := &Engine{Workers: 1, OnUnit: func(ev UnitEvent) { events = append(events, ev) }}
+	err := e.Run(jobs, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want boom", err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5: %+v", len(events), events)
+	}
+	var failed, skipped, completed int
+	for i, ev := range events {
+		if ev.Completed != i+1 || ev.Total != 5 {
+			t.Errorf("event %d: Completed/Total = %d/%d, want %d/5", i, ev.Completed, ev.Total, i+1)
+		}
+		switch {
+		case ev.Err != nil:
+			failed++
+			if ev.Job != "bad" {
+				t.Errorf("failure attributed to job %q, want bad", ev.Job)
+			}
+		case ev.Skipped:
+			skipped++
+		default:
+			completed++
+			if ev.Elapsed < 0 {
+				t.Errorf("event %d: negative Elapsed", i)
+			}
+		}
+	}
+	// The stop flag is advisory for the worker loop, so how many of the
+	// trailing units run vs skip is timing-dependent; the invariant is
+	// that every unit is accounted exactly once.
+	if failed != 1 || completed+skipped != 4 {
+		t.Errorf("completed/failed/skipped = %d/%d/%d, want 1 failure and 4 others", completed, failed, skipped)
 	}
 }
