@@ -11,6 +11,7 @@
 //	iramasm mix    [-budget N] file.s|file.img
 //	iramasm trace  [-budget N] -o out.trc file.s|file.img
 //	iramasm replay [-cache SIZE:LINE:WAYS]... in.trc
+//	iramasm dis    [-o out.s] [-roundtrip] file.s|file.img
 //
 // Program images (.img) are the serialized form of an assembled
 // program — build once, run many times, or "download" into the device
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cache"
+	"repro/internal/dis"
 	"repro/internal/isa"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -56,6 +58,8 @@ func main() {
 		err = cmdTrace(args)
 	case "replay":
 		err = cmdReplay(args)
+	case "dis":
+		err = cmdDis(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -73,7 +77,8 @@ func usage() {
   iramasm list   file.s|file.img
   iramasm mix    [-budget N] file.s|file.img
   iramasm trace  [-budget N] -o out.trc file.s|file.img
-  iramasm replay [-cache SIZE:LINE:WAYS]... in.trc`)
+  iramasm replay [-cache SIZE:LINE:WAYS]... in.trc
+  iramasm dis    [-o out.s] [-roundtrip] file.s|file.img`)
 }
 
 // loadProgram reads either assembly source or a prebuilt image,
@@ -265,6 +270,38 @@ func cmdTrace(args []string) error {
 	return nil
 }
 
+// cmdDis disassembles an image (or source, assembled first) back to
+// canonical assembly via internal/dis — the same code path as the
+// standalone iramdis tool. With -roundtrip it additionally proves the
+// output reassembles to a byte-identical image.
+func cmdDis(args []string) error {
+	fs := flag.NewFlagSet("dis", flag.ExitOnError)
+	out := fs.String("o", "", "output assembly file (default stdout)")
+	roundtrip := fs.Bool("roundtrip", false, "verify the output reassembles byte-identical")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dis: need exactly one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	src, err := dis.Disassemble(p)
+	if err != nil {
+		return err
+	}
+	if *roundtrip {
+		if err := dis.RoundTrip(p); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		return os.WriteFile(*out, []byte(src), 0o644)
+	}
+	_, err = fmt.Print(src)
+	return err
+}
+
 // cacheSpecs collects repeated -cache flags.
 type cacheSpecs []string
 
@@ -323,22 +360,53 @@ func cmdReplay(args []string) error {
 	return nil
 }
 
+// maxCacheSize bounds -cache sizes: a simulated cache larger than
+// 1 GiB is certainly a typo and would allocate its tag array for real.
+const maxCacheSize = 1 << 30
+
+// parseCacheSpec validates a -cache flag completely at parse time so
+// a bad spec is a CLI error with a precise message, never a panic or a
+// silently degenerate geometry deep inside the replay loop.
 func parseCacheSpec(s string) (cache.Cache, error) {
 	if s == "proposed" {
 		return cache.Proposed(), nil
 	}
 	parts := strings.Split(s, ":")
 	if len(parts) != 3 {
-		return nil, fmt.Errorf("bad cache spec %q (want SIZE:LINE:WAYS)", s)
+		return nil, fmt.Errorf("bad -cache spec %q: want SIZE:LINE:WAYS or 'proposed'", s)
 	}
-	size, err1 := strconv.ParseUint(parts[0], 10, 64)
-	line, err2 := strconv.ParseUint(parts[1], 10, 64)
-	ways, err3 := strconv.Atoi(parts[2])
-	if err1 != nil || err2 != nil || err3 != nil || size == 0 || line == 0 || ways < 1 {
-		return nil, fmt.Errorf("bad cache spec %q", s)
+	size, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil || size == 0 {
+		return nil, fmt.Errorf("bad -cache spec %q: size %q is not a positive integer", s, parts[0])
+	}
+	line, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil || line == 0 {
+		return nil, fmt.Errorf("bad -cache spec %q: line %q is not a positive integer", s, parts[1])
+	}
+	ways, err := strconv.Atoi(parts[2])
+	if err != nil || ways < 1 {
+		return nil, fmt.Errorf("bad -cache spec %q: ways %q is not a positive integer", s, parts[2])
+	}
+	if size > maxCacheSize {
+		return nil, fmt.Errorf("bad -cache spec %q: size %d exceeds the 1 GiB limit", s, size)
+	}
+	if line&(line-1) != 0 {
+		return nil, fmt.Errorf("bad -cache spec %q: line size %d is not a power of two", s, line)
+	}
+	if line > size {
+		return nil, fmt.Errorf("bad -cache spec %q: line size %d exceeds cache size %d", s, line, size)
+	}
+	// Bound ways before multiplying so line*ways cannot overflow.
+	if uint64(ways) > size/line {
+		return nil, fmt.Errorf("bad -cache spec %q: %d ways needs %d lines but the cache holds only %d",
+			s, ways, ways, size/line)
 	}
 	if size%(line*uint64(ways)) != 0 {
-		return nil, fmt.Errorf("cache spec %q: size not divisible by line×ways", s)
+		return nil, fmt.Errorf("bad -cache spec %q: size %d not divisible by line %d × ways %d",
+			s, size, line, ways)
+	}
+	if sets := size / (line * uint64(ways)); sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("bad -cache spec %q: derived set count %d is not a power of two", s, sets)
 	}
 	name := fmt.Sprintf("%dKB %d-way %dB", size>>10, ways, line)
 	return cache.NewSetAssoc(name, size, line, ways), nil

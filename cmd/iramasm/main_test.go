@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,9 +18,30 @@ func TestParseCacheSpec(t *testing.T) {
 	if _, err := parseCacheSpec("proposed"); err != nil {
 		t.Errorf("proposed spec rejected: %v", err)
 	}
-	for _, bad := range []string{"", "16384:32", "a:b:c", "100:32:2", "16384:32:0"} {
+	for _, bad := range []string{
+		"", "16384:32", "a:b:c", "100:32:2", "16384:32:0",
+		"16384:0:1",                     // zero line
+		"0:32:1",                        // zero size
+		"16384:32:-2",                   // negative ways
+		"16384:48:1",                    // non-power-of-two line
+		"96:32:1",                       // 3 sets: non-power-of-two set count
+		"16:32:1",                       // line larger than cache
+		"16384:32:1024",                 // more ways than lines
+		"2147483648:32:1",               // over the 1 GiB limit
+		"18446744073709551615:32:1",     // uint64 max size
+		"16384:18446744073709551615:1",  // uint64 max line
+		"16384:32:18446744073709551616", // ways overflows int
+	} {
 		if _, err := parseCacheSpec(bad); err == nil {
 			t.Errorf("bad spec %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "bad -cache spec") {
+			t.Errorf("bad spec %q: error %q missing 'bad -cache spec' prefix", bad, err)
+		}
+	}
+	// Fully-associative and direct-mapped extremes remain valid.
+	for _, good := range []string{"16384:512:2", "512:512:1", "1024:32:32"} {
+		if _, err := parseCacheSpec(good); err != nil {
+			t.Errorf("good spec %q rejected: %v", good, err)
 		}
 	}
 }
@@ -96,6 +118,34 @@ func TestCmdErrors(t *testing.T) {
 	}
 	if err := cmdRun([]string{"/nonexistent.s"}); err == nil {
 		t.Error("run of missing file accepted")
+	}
+}
+
+// TestCmdDisRoundTrip: `iramasm dis -roundtrip` on both a source file
+// and a built image, writing the recovered assembly out and checking it
+// is itself assemblable input for `iramasm run`.
+func TestCmdDisRoundTrip(t *testing.T) {
+	path := writeDemo(t)
+	dir := filepath.Dir(path)
+	img := filepath.Join(dir, "demo.img")
+	if err := cmdBuild([]string{"-o", img, path}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	recovered := filepath.Join(dir, "recovered.s")
+	if err := cmdDis([]string{"-roundtrip", "-o", recovered, img}); err != nil {
+		t.Fatalf("dis image: %v", err)
+	}
+	if err := cmdDis([]string{"-roundtrip", path}); err != nil {
+		t.Fatalf("dis source: %v", err)
+	}
+	if err := cmdRun([]string{recovered}); err != nil {
+		t.Fatalf("run recovered assembly: %v", err)
+	}
+	if err := cmdDis([]string{}); err == nil {
+		t.Error("dis without file accepted")
+	}
+	if err := cmdDis([]string{"/nonexistent.img"}); err == nil {
+		t.Error("dis of missing file accepted")
 	}
 }
 

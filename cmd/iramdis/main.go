@@ -1,0 +1,118 @@
+// Command iramdis decodes a program image (.img) back to canonical
+// assembly source. The output is exact: reassembling it with iramasm
+// produces a byte-identical image, and -roundtrip proves that on the
+// spot. Labels are recovered from the image's symbol table; data
+// segments are re-expressed as .data/.org/.byte/.dword directives.
+//
+// Usage:
+//
+//	iramdis [-o out.s] [-roundtrip] file.img|file.s
+//	iramdis [-o out.s] [-roundtrip] -workload NAME
+//	iramdis -list
+//
+// A .s argument is assembled first, which makes
+// `iramdis -roundtrip file.s` a one-step canonicality check for
+// hand-written sources. -workload disassembles a registered workload
+// generator's image without writing it to disk; -list prints the
+// registered workload names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/dis"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iramdis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("iramdis", flag.ContinueOnError)
+	wl := fs.String("workload", "", "disassemble a registered workload instead of a file")
+	out := fs.String("o", "", "output assembly file (default stdout)")
+	roundtrip := fs.Bool("roundtrip", false, "verify the output reassembles byte-identical")
+	list := fs.Bool("list", false, "print registered workload names and exit")
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage:
+  iramdis [-o out.s] [-roundtrip] file.img|file.s
+  iramdis [-o out.s] [-roundtrip] -workload NAME
+  iramdis -list`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Fprintln(stdout, w.Name)
+		}
+		return nil
+	}
+
+	var p *isa.Program
+	switch {
+	case *wl != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-workload and a file argument are mutually exclusive")
+		}
+		w, err := workload.ByName(*wl)
+		if err != nil {
+			return err
+		}
+		p = w.Build()
+	case fs.NArg() == 1:
+		var err error
+		p, err = loadProgram(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("need one file argument or -workload NAME")
+	}
+
+	src, err := dis.Disassemble(p)
+	if err != nil {
+		return err
+	}
+	if *roundtrip {
+		if err := dis.RoundTrip(p); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		return os.WriteFile(*out, []byte(src), 0o644)
+	}
+	_, err = io.WriteString(stdout, src)
+	return err
+}
+
+// loadProgram reads either assembly source or a prebuilt image,
+// selected by the .img extension (mirrors iramasm's loader).
+func loadProgram(path string) (*isa.Program, error) {
+	if strings.HasSuffix(path, ".img") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return isa.ReadImage(f)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(string(src))
+}

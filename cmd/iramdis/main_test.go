@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRunWorkloadRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-roundtrip", "-workload", "hashjoin"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "main:") {
+		t.Errorf("disassembly missing main label:\n%.400s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Fields(out.String())
+	if len(names) != len(workload.All()) {
+		t.Errorf("-list printed %d names, want %d", len(names), len(workload.All()))
+	}
+}
+
+func TestRunFileAndOutput(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "demo.s")
+	if err := os.WriteFile(src, []byte("main:\tli r1, 42\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "demo.dis.s")
+	var stdout bytes.Buffer
+	if err := run([]string{"-roundtrip", "-o", out, src}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "addi r1, r0, 42") {
+		t.Errorf("unexpected disassembly:\n%s", b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"-workload", "nonesuch"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-workload", "gemm", "extra.s"}, &out); err == nil {
+		t.Error("-workload with a file argument accepted")
+	}
+	if err := run([]string{"/nonexistent.img"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -17,7 +17,7 @@ import (
 // shape line, and one multiprocessor figure — together they cross every
 // layer the machine-description refactor touched (core, workload,
 // cpumodel, coherence/mpsim, experiments, CLI rendering).
-var goldenNames = []string{"spec", "fig7", "fig8", "table3", "fig910", "fig13"}
+var goldenNames = []string{"spec", "fig7", "fig8", "table3", "realcpi", "fig910", "fig13"}
 
 // TestQuickGolden locks the default-device output byte-for-byte against
 // testdata/quick_golden.txt. Any change to a derivation formula that

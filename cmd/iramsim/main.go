@@ -7,7 +7,7 @@
 //	iramsim [flags] <experiment> [...]
 //
 // Experiments: table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks
-// mattson fig13 fig14 fig15 fig16 fig17 cost all
+// mattson realcpi fig13 fig14 fig15 fig16 fig17 cost all
 //
 // Flags:
 //
@@ -68,29 +68,29 @@ var frontierPath string
 
 // cliConfig gathers the parsed command-line flags.
 type cliConfig struct {
-	quick          bool
-	budget, seed   int64
-	procs          string
-	machine        string
-	workers        int
-	record         string
-	replay         string
-	traceDir       string
-	resultCache    string
-	noResultCache  bool
-	cacheMaxBytes  int64
-	dsBanks        string
-	dsColumns      string
-	dsWays         string
-	dsVictims      string
-	dsCoarse       int
-	dsRefine       int
-	dsFrontier     string
-	cpuprofile     string
-	memprofile     string
-	metrics        string
-	traceOut       string
-	debugAddr      string
+	quick         bool
+	budget, seed  int64
+	procs         string
+	machine       string
+	workers       int
+	record        string
+	replay        string
+	traceDir      string
+	resultCache   string
+	noResultCache bool
+	cacheMaxBytes int64
+	dsBanks       string
+	dsColumns     string
+	dsWays        string
+	dsVictims     string
+	dsCoarse      int
+	dsRefine      int
+	dsFrontier    string
+	cpuprofile    string
+	memprofile    string
+	metrics       string
+	traceOut      string
+	debugAddr     string
 }
 
 func main() {
@@ -407,7 +407,7 @@ func run(name string, opts experiments.Options, ms *experiments.MeasurementSet) 
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: iramsim [flags] <experiment> [...]")
-	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} designspace scoma fabric selftest workloads fig910 all")
+	fmt.Fprintln(os.Stderr, "experiments: spec cost table1 fig2 fig7 fig8 fig11 fig12 table3 table4 banks mattson realcpi fig13..fig17 ablate-{linesize,victim,unit,scoreboard,inc,engines,jouppi} designspace scoma fabric selftest workloads fig910 all")
 	fmt.Fprintln(os.Stderr, "machine descriptions: -machine examples/machine-32bank.json (see examples/)")
 	fmt.Fprintln(os.Stderr, "trace cache: -trace-dir/-replay/-record <dir> (record-all: iramsim -record <dir>)")
 	fmt.Fprintln(os.Stderr, "design-space search: iramsim designspace -ds-banks 8..128:8 -ds-columns 256..4096:*2 \\")

@@ -46,7 +46,7 @@ func quickOpts() experiments.Options {
 // per call makes every run recompute from its seeds.
 func sweepOutput(t *testing.T, workers int, opts experiments.Options) []byte {
 	t.Helper()
-	names := []string{"spec", "cost", "table1", "fig7", "table3", "fig13", "ablate-scoreboard", "fabric"}
+	names := []string{"spec", "cost", "table1", "fig7", "fig8", "table3", "realcpi", "fig13", "ablate-scoreboard", "fabric"}
 	ms := experiments.NewMeasurementSet(opts)
 	var buf bytes.Buffer
 	if err := runNames(names, opts, ms, workers, nil, &buf, io.Discard); err != nil {

@@ -188,7 +188,7 @@ func (s *server) submit(req runner.Request) (*run, int, error) {
 	select {
 	case s.queue <- ru:
 	default:
-		s.nextID-- // id was never visible; reuse it
+		s.nextID--  // id was never visible; reuse it
 		ru.cancel() // release the context before discarding the run
 		s.mRejected.Inc()
 		return nil, http.StatusTooManyRequests,

@@ -49,6 +49,18 @@ const (
 	DefaultDataBase = 0x100000
 )
 
+// Section limits. A single assembled program may not span more than the
+// image format's decode limits (isa.ReadImage refuses larger inputs),
+// and bases are kept well below 2^64 so that every location-counter
+// computation (.org spans, .align padding, .space sizes) stays wrap-free:
+// base ≤ maxBaseAddr and span ≤ maxTextSpan/maxDataSpan means base+span
+// cannot overflow uint64 and every span fits in an int.
+const (
+	maxTextSpan = (16 << 20) * isa.WordSize // 16M instructions
+	maxDataSpan = 1 << 30                   // 1 GiB
+	maxBaseAddr = 1 << 62
+)
+
 // Error describes an assembly failure with its source line.
 type Error struct {
 	Line int
@@ -124,6 +136,22 @@ func (a *assembler) loc() *uint64 {
 	return &a.dataLoc
 }
 
+// checkSpan rejects a new location-counter value that would put the
+// current section over its size cap. Every location-counter advance
+// funnels through this, which is what keeps the address arithmetic in
+// pass1/pass2 overflow-free.
+func (a *assembler) checkSpan(line int, newLoc uint64) error {
+	base, span, what := a.dataBase, uint64(maxDataSpan), "data"
+	if a.cur == secText {
+		base, span, what = a.textBase, maxTextSpan, "text"
+	}
+	if newLoc-base > span {
+		return a.errf(line, "%s section spans 0x%x bytes from base 0x%x (max 0x%x)",
+			what, newLoc-base, base, span)
+	}
+	return nil
+}
+
 // pass1 tokenises, defines labels, and sizes every statement.
 func (a *assembler) pass1(src string) error {
 	for ln, raw := range strings.Split(src, "\n") {
@@ -167,6 +195,9 @@ func (a *assembler) pass1(src string) error {
 		if a.cur != secText {
 			return a.errf(line, "instruction %q in data section", op)
 		}
+		if err := a.checkSpan(line, a.textLoc+uint64(n*isa.WordSize)); err != nil {
+			return err
+		}
 		a.items = append(a.items, item{
 			line: line, sec: secText, addr: a.textLoc,
 			op: op, args: args, nInstrs: n,
@@ -194,7 +225,13 @@ func (a *assembler) directive1(line int, dir string, args []string) error {
 			if err != nil {
 				return a.errf(line, "bad %s address %q", dir, args[0])
 			}
+			if v > maxBaseAddr {
+				return a.errf(line, ".%s address 0x%x too large (max 0x%x)", dir, v, uint64(maxBaseAddr))
+			}
 			if sec == secText {
+				if v%isa.WordSize != 0 {
+					return a.errf(line, ".text address 0x%x not %d-byte aligned", v, isa.WordSize)
+				}
 				if a.textBaseSet && v != a.textBase {
 					return a.errf(line, "text base redefined; use .org to move within text")
 				}
@@ -220,6 +257,15 @@ func (a *assembler) directive1(line int, dir string, args []string) error {
 		if v < *a.loc() {
 			return a.errf(line, ".org 0x%x moves backwards from 0x%x", v, *a.loc())
 		}
+		if a.cur == secText && v%isa.WordSize != 0 {
+			return a.errf(line, ".org 0x%x not instruction-aligned in text", v)
+		}
+		// The location counter never precedes the section base, so with
+		// the span check here v-base (and hence every later nBytes and
+		// index computation) is bounded and cannot wrap.
+		if err := a.checkSpan(line, v); err != nil {
+			return err
+		}
 		a.items = append(a.items, item{line: line, sec: a.cur, addr: *a.loc(),
 			op: "org", args: args, isDir: true,
 			nBytes: int(v - *a.loc())})
@@ -235,6 +281,11 @@ func (a *assembler) directive1(line int, dir string, args []string) error {
 		}
 		cur := *a.loc()
 		pad := (n - cur%n) % n
+		// cur ≤ maxBaseAddr+span, pad < n ≤ 2^63: cur+pad cannot wrap,
+		// but the padded address can still blow the section cap.
+		if err := a.checkSpan(line, cur+pad); err != nil {
+			return err
+		}
 		a.items = append(a.items, item{line: line, sec: a.cur, addr: cur,
 			op: "align", args: args, isDir: true, nBytes: int(pad)})
 		*a.loc() = cur + pad
@@ -246,6 +297,9 @@ func (a *assembler) directive1(line int, dir string, args []string) error {
 		size, err := dataSize(dir, args)
 		if err != nil {
 			return a.errf(line, "%v", err)
+		}
+		if err := a.checkSpan(line, a.dataLoc+uint64(size)); err != nil {
+			return err
 		}
 		a.items = append(a.items, item{line: line, sec: secData, addr: a.dataLoc,
 			op: dir, args: args, isDir: true, nBytes: size})
@@ -271,6 +325,9 @@ func dataSize(dir string, args []string) (int, error) {
 		n, err := parseUint(args[0])
 		if err != nil {
 			return 0, fmt.Errorf("bad .space size %q", args[0])
+		}
+		if n > maxDataSpan {
+			return 0, fmt.Errorf(".space size %d exceeds data section limit", n)
 		}
 		return int(n), nil
 	}

@@ -28,6 +28,18 @@ func FuzzAssemble(f *testing.F) {
 		".align 3",                      // bad align
 		"main: lw r1, (r2",              // malformed mem operand
 		"x: .word x+4, x-4\nmain: halt", // label arithmetic
+		// Overflow crashers: location-counter arithmetic near 2^64 used
+		// to wrap past the "moves backwards" check and explode pass2.
+		".org 0xffffffffffffff00",
+		".org 0xfffffffffffffffc\nmain: halt",
+		".data\n.org 0xffffffffffffffff",
+		".data\n.space 0xffffffffffffffff",
+		".data\n.space 0x7fffffffffffffff, 1",
+		".data 0xfffffffffffffff8\n.align 0x8000000000000000",
+		".text 0xfffffffffffffff0\nmain: halt",
+		".org 0x20000000\nmain: halt", // text span over the 64 MiB cap
+		".text 2\nnop",                // unaligned text base
+		".org 0x1001\nnop",            // unaligned .org in text
 	}
 	for _, s := range seeds {
 		f.Add(s)

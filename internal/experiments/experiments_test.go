@@ -25,11 +25,11 @@ func TestFig7EndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 19 {
-		t.Fatalf("%d rows, want 19", len(r.Rows))
+	if len(r.Rows) != 22 {
+		t.Fatalf("%d rows, want 22 (SPEC + synopsys + real kernels)", len(r.Rows))
 	}
 	tbl := r.Table().String()
-	for _, want := range []string{"Figure 7", "145.fpppp", "125.turb3d"} {
+	for _, want := range []string{"Figure 7", "145.fpppp", "125.turb3d", "gemm", "bfs", "hashjoin"} {
 		if !strings.Contains(tbl, want) {
 			t.Errorf("table missing %q", want)
 		}
@@ -41,8 +41,8 @@ func TestFig8EndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 19 {
-		t.Fatalf("%d rows, want 19", len(r.Rows))
+	if len(r.Rows) != 22 {
+		t.Fatalf("%d rows, want 22 (SPEC + synopsys + real kernels)", len(r.Rows))
 	}
 	// Spot-check the paper's central Figure 8 story on tomcatv.
 	for _, row := range r.Rows {
@@ -109,6 +109,36 @@ func TestTables34EndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(t4.Table().String(), "Alpha") {
 		t.Error("Table 4 must include the Alpha column")
+	}
+}
+
+// TestRealCPIEndToEnd: the real-program kernels evaluate through both
+// system models and the integrated device comes out ahead — the memory
+// wall argument made with programs that actually compute something.
+func TestRealCPIEndToEnd(t *testing.T) {
+	r, err := RealCPI(topts, tms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.BaseCPI < 1 {
+			t.Errorf("%s: BaseCPI %.2f below 1", row.Bench, row.BaseCPI)
+		}
+		if row.IntTotalCPI <= row.BaseCPI {
+			t.Errorf("%s: integrated total %.3f not above base %.3f", row.Bench, row.IntTotalCPI, row.BaseCPI)
+		}
+		if row.Speedup <= 1 {
+			t.Errorf("%s: integrated system not faster (speedup %.2f)", row.Bench, row.Speedup)
+		}
+	}
+	tbl := r.Table().String()
+	for _, want := range []string{"gemm", "bfs", "hashjoin", "speedup"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q", want)
+		}
 	}
 }
 

@@ -81,6 +81,7 @@ var (
 	fig7Codec     = gobCodec[Fig7Row]{name: "Fig7Row", version: 1}
 	fig8Codec     = gobCodec[Fig8Row]{name: "Fig8Row", version: 1}
 	cpiCodec      = gobCodec[CPIRow]{name: "CPIRow", version: 1}
+	realcpiCodec  = gobCodec[RealCPIRow]{name: "RealCPIRow", version: 1}
 	latencyCodec  = gobCodec[[]LatencyPoint]{name: "LatencyPoints", version: 1}
 	bankCodec     = gobCodec[BankRow]{name: "BankRow", version: 1}
 	mattsonCodec  = gobCodec[MattsonRow]{name: "MattsonRow", version: 1}

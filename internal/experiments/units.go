@@ -36,6 +36,8 @@ func JobFor(name string, o Options, ms *MeasurementSet) (sweep.Job, error) {
 		return BanksJob(o, ms), nil
 	case "mattson":
 		return MattsonJob(o), nil
+	case "realcpi":
+		return RealCPIJob(o, ms), nil
 	case "fig13", "fig14", "fig15", "fig16", "fig17":
 		n, _ := strconv.Atoi(strings.TrimPrefix(name, "fig"))
 		return SplashFigureJob(o, n)
@@ -71,7 +73,7 @@ func JobFor(name string, o Options, ms *MeasurementSet) (sweep.Job, error) {
 func SweepNames() []string {
 	return []string{
 		"cost", "table1", "fig2", "fig7", "fig8", "fig11", "fig12",
-		"table3", "table4", "banks", "mattson",
+		"table3", "table4", "banks", "mattson", "realcpi",
 		"fig13", "fig14", "fig15", "fig16", "fig17",
 		"ablate-linesize", "ablate-victim", "ablate-unit",
 		"ablate-scoreboard", "ablate-inc", "ablate-engines", "ablate-jouppi",

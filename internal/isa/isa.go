@@ -137,6 +137,52 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// OperandClass describes which operand fields an opcode uses and how
+// the assembler writes them. It is the single classification shared by
+// the assembler (parsing), the disassembler (rendering), and tooling;
+// the VM's Step dispatch is consistent with it by construction.
+type OperandClass uint8
+
+const (
+	ClassNone   OperandClass = iota // no operands (nop, halt) or invalid
+	ClassRRR                        // op rd, rs1, rs2
+	ClassRRI                        // op rd, rs1, imm
+	ClassRR                         // op rd, rs1 (fsqrt, cvtif, cvtfi)
+	ClassRI                         // op rd, imm (lui)
+	ClassLoad                       // op rd, imm(rs1)
+	ClassStore                      // op rs2, imm(rs1)  (value register first)
+	ClassBranch                     // op rs1, rs2, target
+	ClassJal                        // jal rd, target
+	ClassJalr                       // jalr rd, rs1, imm
+)
+
+// Class returns the operand class of the opcode.
+func (o Op) Class() OperandClass {
+	switch {
+	case o >= OpAdd && o <= OpSltu, o == OpFAdd, o == OpFSub, o == OpFMul,
+		o == OpFDiv, o == OpFSlt:
+		return ClassRRR
+	case o >= OpAddi && o <= OpMuli:
+		return ClassRRI
+	case o == OpFSqrt, o == OpCvtIF, o == OpCvtFI:
+		return ClassRR
+	case o == OpLui:
+		return ClassRI
+	case o.IsLoad():
+		return ClassLoad
+	case o.IsStore():
+		return ClassStore
+	case o.IsBranch():
+		return ClassBranch
+	case o == OpJal:
+		return ClassJal
+	case o == OpJalr:
+		return ClassJalr
+	default:
+		return ClassNone
+	}
+}
+
 // IsLoad reports whether the opcode reads data memory.
 func (o Op) IsLoad() bool { return o >= OpLb && o <= OpLd }
 
@@ -178,25 +224,27 @@ type Instr struct {
 
 // String renders the instruction in assembler syntax.
 func (i Instr) String() string {
-	switch {
-	case i.Op == OpNop || i.Op == OpHalt:
-		return i.Op.String()
-	case i.Op.IsLoad():
+	switch i.Op.Class() {
+	case ClassLoad:
 		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs1)
-	case i.Op.IsStore():
+	case ClassStore:
 		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
-	case i.Op.IsBranch():
+	case ClassBranch:
 		return fmt.Sprintf("%s r%d, r%d, 0x%x", i.Op, i.Rs1, i.Rs2, i.Imm)
-	case i.Op == OpJal:
+	case ClassJal:
 		return fmt.Sprintf("jal r%d, 0x%x", i.Rd, i.Imm)
-	case i.Op == OpJalr:
+	case ClassJalr:
 		return fmt.Sprintf("jalr r%d, r%d, %d", i.Rd, i.Rs1, i.Imm)
-	case i.Op == OpLui:
-		return fmt.Sprintf("lui r%d, %d", i.Rd, i.Imm)
-	case i.Op >= OpAddi && i.Op <= OpSlti:
+	case ClassRI:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case ClassRR:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Rd, i.Rs1)
+	case ClassRRI:
 		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
-	default:
+	case ClassRRR:
 		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	default:
+		return i.Op.String()
 	}
 }
 

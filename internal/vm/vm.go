@@ -63,9 +63,22 @@ func (m *Memory) Store8(addr uint64, v byte) {
 	m.page(addr)[addr&pageMask] = v
 }
 
+// checkSize panics on an access width the ISA cannot produce. Step()
+// only ever passes isa.Op.MemSize() results (1, 2, 4 or 8 for every
+// load/store opcode), so this guards direct Memory users: a bad width
+// would otherwise silently read or write a garbage-sized value.
+func checkSize(size int) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("vm: invalid memory access size %d (must be 1, 2, 4 or 8)", size))
+	}
+}
+
 // Read returns size bytes at addr as a little-endian unsigned integer.
 // size must be 1, 2, 4 or 8. Accesses may span pages.
 func (m *Memory) Read(addr uint64, size int) uint64 {
+	checkSize(size)
 	// Fast path: within one page.
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
@@ -87,7 +100,9 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 }
 
 // Write stores size bytes at addr, little-endian.
+// size must be 1, 2, 4 or 8. Accesses may span pages.
 func (m *Memory) Write(addr uint64, size int, v uint64) {
+	checkSize(size)
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
 		p := m.page(addr)

@@ -126,6 +126,40 @@ func TestMemoryRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestMemoryRejectsBadSizeProperty: every access width outside
+// {1,2,4,8} panics with a clear message instead of silently reading or
+// writing a garbage-sized value. Step() can never produce such a width
+// (it passes isa.Op.MemSize(), which is 1/2/4/8 for every load/store
+// opcode), so this guards direct Memory users.
+func TestMemoryRejectsBadSizeProperty(t *testing.T) {
+	valid := map[int]bool{1: true, 2: true, 4: true, 8: true}
+	mustPanic := func(fn func()) (panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		fn()
+		return false
+	}
+	f := func(addr uint64, v uint64, size int16) bool {
+		sz := int(size)
+		m := NewMemory()
+		wantPanic := !valid[sz]
+		gotR := mustPanic(func() { m.Read(addr%(1<<30), sz) })
+		gotW := mustPanic(func() { m.Write(addr%(1<<30), sz, v) })
+		return gotR == wantPanic && gotW == wantPanic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	for _, sz := range []int{0, -1, 3, 5, 7, 9, 16, 1 << 20} {
+		if !mustPanic(func() { NewMemory().Read(0, sz) }) {
+			t.Errorf("Read with size %d did not panic", sz)
+		}
+	}
+}
+
 // TestMemoryDisjointWritesProperty: writes to disjoint ranges do not
 // interfere.
 func TestMemoryDisjointWritesProperty(t *testing.T) {

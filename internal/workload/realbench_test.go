@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// mirrors maps each real-program kernel to its Go-mirror checksum so
+// the test can assert the architectural output independently of the
+// kernel's own embedded self-check.
+func mirrors() map[string]uint64 {
+	off, edges := bfsGraph()
+	return map[string]uint64{
+		"gemm":     gemmMirror(),
+		"bfs":      bfsMirror(off, edges),
+		"hashjoin": hjMirror(),
+	}
+}
+
+// TestRealKernelsSelfVerify runs every GroupReal kernel to completion
+// (budget 0 = until halt) and asserts the program's own verdict (r27)
+// and the raw checksum (r28) against the Go mirror.
+func TestRealKernelsSelfVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel runs (~2.5M instructions each)")
+	}
+	want := mirrors()
+	for _, w := range Real() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cpu, err := vm.RunProgram(w.Build(), trace.Discard, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cpu.Halted() {
+				t.Fatal("kernel did not halt")
+			}
+			expected, ok := want[w.Name]
+			if !ok {
+				t.Fatalf("no mirror checksum registered for %s", w.Name)
+			}
+			if cpu.Regs[28] != expected {
+				t.Errorf("checksum r28 = %#x, want %#x", cpu.Regs[28], expected)
+			}
+			if cpu.Regs[27] != 1 {
+				t.Errorf("self-check flag r27 = %d, want 1", cpu.Regs[27])
+			}
+			// The kernels must be substantial enough to exceed the
+			// default experiment budget, so figure runs never see the
+			// self-check epilogue inside the measured window.
+			if cpu.Instructions < DefaultBudget {
+				t.Errorf("kernel retired %d instructions, want >= %d", cpu.Instructions, DefaultBudget)
+			}
+		})
+	}
+}
+
+// TestRealKernelDataSegmentsCanonical: segments attached by the real
+// kernels must be sorted, non-empty and non-adjacent — the shape the
+// assembler itself produces — so disassembler round trips stay exact.
+func TestRealKernelDataSegmentsCanonical(t *testing.T) {
+	for _, w := range Real() {
+		p := w.Build()
+		for i, seg := range p.Data {
+			if len(seg.Bytes) == 0 {
+				t.Errorf("%s: empty data segment %d", w.Name, i)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := p.Data[i-1]
+			if prevEnd := prev.Base + uint64(len(prev.Bytes)); seg.Base <= prevEnd {
+				t.Errorf("%s: segment %d at %#x not strictly after previous end %#x",
+					w.Name, i, seg.Base, prevEnd)
+			}
+		}
+	}
+}

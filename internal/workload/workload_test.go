@@ -33,8 +33,8 @@ func measure(t *testing.T, name string) *Measurement {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 19 {
-		t.Fatalf("registered %d workloads, want 19 (Table 2)", len(names))
+	if len(names) != 22 {
+		t.Fatalf("registered %d workloads, want 22 (Table 2 + real group)", len(names))
 	}
 	want := []string{
 		"099.go", "124.m88ksim", "126.gcc", "129.compress", "130.li",
@@ -42,6 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"101.tomcatv", "102.swim", "103.su2cor", "104.hydro2d", "107.mgrid",
 		"110.applu", "125.turb3d", "141.apsi", "145.fpppp", "146.wave5",
 		"synopsys",
+		"bfs", "hashjoin", "gemm",
 	}
 	for i, n := range want {
 		if names[i] != n {
@@ -50,6 +51,38 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(Spec()) != 18 {
 		t.Errorf("Spec() returned %d workloads, want 18", len(Spec()))
+	}
+	if len(Real()) != 3 {
+		t.Errorf("Real() returned %d workloads, want 3", len(Real()))
+	}
+}
+
+// TestGroupOrdering: groups are strictly ordered in All() — the SPEC
+// stand-ins, then synopsys, then the real-program kernels — so a new
+// group can never reorder rows in existing figures or goldens.
+func TestGroupOrdering(t *testing.T) {
+	last := GroupSpec
+	for _, w := range All() {
+		if w.Group < last {
+			t.Fatalf("%s (group %d) sorted after group %d", w.Name, w.Group, last)
+		}
+		last = w.Group
+	}
+	for _, w := range Spec() {
+		if w.Group != GroupSpec {
+			t.Errorf("Spec() leaked %s (group %d)", w.Name, w.Group)
+		}
+	}
+	for _, w := range Real() {
+		if w.Group != GroupReal {
+			t.Errorf("Real() leaked %s (group %d)", w.Name, w.Group)
+		}
+		if w.SpecCal != 0 {
+			t.Errorf("%s: real kernels have no paper SPEC calibration, got %v", w.Name, w.SpecCal)
+		}
+		if w.BaseCPI < 1 {
+			t.Errorf("%s: explicit BaseCPI %v missing or implausible", w.Name, w.BaseCPI)
+		}
 	}
 }
 

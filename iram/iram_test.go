@@ -53,8 +53,8 @@ func TestRunSimpleProgram(t *testing.T) {
 
 func TestWorkloadsList(t *testing.T) {
 	ws := Workloads()
-	if len(ws) != 19 {
-		t.Errorf("%d workloads, want 19", len(ws))
+	if len(ws) != 22 {
+		t.Errorf("%d workloads, want 22 (SPEC + synopsys + real kernels)", len(ws))
 	}
 }
 
